@@ -1,0 +1,49 @@
+// Routing-protocol comparison under the P2P workload — the experiment of
+// the paper's companion study (Oliveira, Siqueira, Loureiro, "Evaluation
+// of Ad-hoc Routing Protocols under a Peer-to-Peer Application", WCNC'03,
+// reference [13]): on-demand AODV vs proactive DSDV carrying the Regular
+// algorithm's traffic on the paper's 50-node mobile scenario.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bench;
+  scenario::Parameters base = paper_scenario(50);
+  base.algorithm = core::AlgorithmKind::kRegular;
+  apply_cli(&base, argc, argv);
+  const std::size_t seeds = std::min<std::size_t>(scenario::bench_seed_count(), 3);
+  print_header("Ablation", "AODV vs DSR vs DSDV under the Regular p2p workload",
+               base, seeds);
+
+  stats::Table table({"routing", "answers/req (rank1)", "answered % (rank1)",
+                      "control msgs", "frames tx", "energy J"});
+  for (const auto protocol :
+       {scenario::RoutingProtocol::kAodv, scenario::RoutingProtocol::kDsr,
+        scenario::RoutingProtocol::kDsdv}) {
+    scenario::Parameters params = base;
+    params.routing_protocol = protocol;
+    const auto result = scenario::run_experiment_cached(params, seeds, 0, {});
+    const auto& rank1 = result.ranks[0];
+    table.add_row(
+        {protocol == scenario::RoutingProtocol::kAodv   ? "AODV"
+         : protocol == scenario::RoutingProtocol::kDsr ? "DSR"
+                                                       : "DSDV",
+         fmt(rank1.answers_per_request.count() > 0
+                 ? rank1.answers_per_request.mean()
+                 : 0.0),
+         fmt(rank1.answered_fraction.count() > 0
+                 ? 100.0 * rank1.answered_fraction.mean()
+                 : 0.0,
+             1),
+         fmt(result.routing_control.mean(), 0),
+         fmt(result.frames_transmitted.mean(), 0),
+         fmt(result.energy_consumed_j.mean(), 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected ([13], and the paper's §4 rationale for choosing "
+               "AODV): the on-demand\nprotocols deliver the best search "
+               "quality under high mobility — AODV first,\nDSR close behind "
+               "at a fraction of the traffic — while DSDV's periodic dumps\n"
+               "are cheap but leave routes stale between rounds, costing "
+               "answered queries.\n";
+  return 0;
+}

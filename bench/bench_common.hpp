@@ -1,0 +1,120 @@
+// Shared scaffolding for the figure-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "scenario/cache.hpp"
+#include "scenario/experiment.hpp"
+#include "stats/fairness.hpp"
+#include "stats/table.hpp"
+#include "util/config.hpp"
+
+namespace bench {
+
+using namespace p2p;
+
+inline const std::vector<core::AlgorithmKind> kAllAlgorithms = {
+    core::AlgorithmKind::kBasic, core::AlgorithmKind::kRegular,
+    core::AlgorithmKind::kRandom, core::AlgorithmKind::kHybrid};
+
+/// Paper-default scenario for the given node count.
+inline scenario::Parameters paper_scenario(std::size_t num_nodes) {
+  scenario::Parameters params;
+  params.num_nodes = num_nodes;
+  return params;
+}
+
+/// Apply command-line key=value overrides; exits on bad input.
+inline void apply_cli(scenario::Parameters* params, int argc, char** argv) {
+  util::Config config;
+  for (int i = 1; i < argc; ++i) {
+    std::string error;
+    if (!config.parse_override(argv[i], &error)) {
+      std::cerr << "bad argument '" << argv[i] << "': " << error << "\n";
+      std::exit(1);
+    }
+  }
+  if (const std::string error = params->apply(config); !error.empty()) {
+    std::cerr << "bad parameter: " << error << "\n";
+    std::exit(1);
+  }
+}
+
+inline void print_header(const char* figure, const char* what,
+                         const scenario::Parameters& params,
+                         std::size_t seeds) {
+  std::cout << "== " << figure << " — " << what << " ==\n"
+            << "scenario: " << params.num_nodes << " nodes, "
+            << params.num_members() << " p2p members, "
+            << params.duration_s << " s, " << seeds
+            << " repetitions (paper: 33)\n\n";
+}
+
+/// Run (or load) the experiment for one algorithm under the paper setup.
+inline scenario::ExperimentResult run_algorithm(
+    scenario::Parameters params, core::AlgorithmKind kind,
+    std::size_t seeds) {
+  params.algorithm = kind;
+  std::fprintf(stderr, "[bench] %s n=%zu: ", core::algorithm_name(kind),
+               params.num_nodes);
+  bool cached = true;
+  const auto result = scenario::run_experiment_cached(
+      params, seeds, /*threads=*/0,
+      [&cached](std::size_t done, std::size_t total) {
+        cached = false;
+        std::fprintf(stderr, "%zu/%zu ", done, total);
+        std::fflush(stderr);
+      });
+  std::fprintf(stderr, cached ? "(cached)\n" : "done\n");
+  return result;
+}
+
+inline std::string fmt(double v, int precision = 2) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+/// If P2P_BENCH_CSV_DIR is set, write the table there as <name>.csv for
+/// plotting; prints a note on success.
+inline void maybe_export_csv(const stats::Table& table, const char* name) {
+  const char* dir = std::getenv("P2P_BENCH_CSV_DIR");
+  if (dir == nullptr) return;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  if (table.write_csv(path)) {
+    std::cout << "(csv written to " << path << ")\n";
+  } else {
+    std::cerr << "failed to write " << path << "\n";
+  }
+}
+
+/// Print the paper's "nodes decreasingly ordered" curve for one received-
+/// message metric, all four algorithms side by side.
+inline void print_sorted_curves(
+    const char* metric,
+    const std::vector<std::pair<core::AlgorithmKind,
+                                const stats::SortedCurve*>>& curves) {
+  std::vector<std::string> headers{"node rank"};
+  std::size_t points = 0;
+  for (const auto& [kind, curve] : curves) {
+    headers.emplace_back(core::algorithm_name(kind));
+    points = std::max(points, curve->points());
+  }
+  stats::Table table(std::move(headers));
+  for (std::size_t i = 0; i < points; ++i) {
+    std::vector<std::string> row{std::to_string(i + 1)};
+    for (const auto& [kind, curve] : curves) {
+      row.push_back(i < curve->points() ? fmt(curve->mean_at(i)) : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << metric << " received per node, nodes decreasingly ordered "
+            << "(mean over repetitions):\n";
+  table.print(std::cout);
+}
+
+}  // namespace bench

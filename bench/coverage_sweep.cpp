@@ -1,0 +1,53 @@
+// Future-work experiment (paper §8: "effects of wireless coverage"):
+// sweep the radio range on the fixed 50-node scenario — and, at the
+// paper's 10 m range, toggle the gray-zone soft cell edge to see what a
+// unit-disk model hides.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bench;
+  scenario::Parameters base = paper_scenario(50);
+  base.algorithm = core::AlgorithmKind::kRegular;
+  apply_cli(&base, argc, argv);
+  const std::size_t seeds = std::min<std::size_t>(scenario::bench_seed_count(), 3);
+  print_header("Coverage sweep", "radio range vs search quality (Regular)",
+               base, seeds);
+
+  stats::Table table({"range m", "gray zone", "answers/req (rank1)",
+                      "answered % (rank1)", "connect rx/node", "frames tx"});
+  const auto run_row = [&](double range, double gray) {
+    scenario::Parameters params = base;
+    params.radio_range = range;
+    params.mac.gray_zone_fraction = gray;
+    const auto result = scenario::run_experiment_cached(params, seeds, 0, {});
+    const auto& rank1 = result.ranks[0];
+    double connect_total = 0.0;
+    for (std::size_t i = 0; i < result.connect_curve.points(); ++i) {
+      connect_total += result.connect_curve.mean_at(i);
+    }
+    const auto members = static_cast<double>(
+        std::max<std::size_t>(1, result.connect_curve.points()));
+    table.add_row({fmt(range, 0), gray > 0.0 ? fmt(gray, 2) : "off",
+                   fmt(rank1.answers_per_request.count() > 0
+                           ? rank1.answers_per_request.mean()
+                           : 0.0),
+                   fmt(rank1.answered_fraction.count() > 0
+                           ? 100.0 * rank1.answered_fraction.mean()
+                           : 0.0,
+                       1),
+                   fmt(connect_total / members),
+                   fmt(result.frames_transmitted.mean(), 0)});
+  };
+
+  for (const double range : {5.0, 8.0, 10.0, 13.0, 16.0}) {
+    run_row(range, 0.0);
+  }
+  run_row(10.0, 0.3);  // the paper's range with a 30% soft edge
+
+  table.print(std::cout);
+  std::cout << "\nexpected: coverage drives everything — below ~8 m the "
+               "50-node network shatters;\nthe gray zone at 10 m behaves "
+               "like a slightly smaller effective range with\nflaky edge "
+               "links (more maintenance churn per useful connection).\n";
+  return 0;
+}

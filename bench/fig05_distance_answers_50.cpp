@@ -1,0 +1,6 @@
+// Figure 5 (IPDPS'03): distance to find the file and number of answers
+// per file request — 50 nodes, 75% in the p2p overlay.
+#include "fig_distance_common.hpp"
+int main(int argc, char** argv) {
+  return bench::run_distance_figure("Figure 5", 50, argc, argv);
+}

@@ -1,0 +1,6 @@
+// Figure 7 (IPDPS'03): connect messages received per node — 50 nodes.
+#include "fig_curve_common.hpp"
+int main(int argc, char** argv) {
+  return bench::run_curve_figure("Figure 7", 50, bench::CurveMetric::kConnect,
+                                 argc, argv);
+}

@@ -1,0 +1,6 @@
+// Figure 8 (IPDPS'03): connect messages received per node — 150 nodes.
+#include "fig_curve_common.hpp"
+int main(int argc, char** argv) {
+  return bench::run_curve_figure("Figure 8", 150, bench::CurveMetric::kConnect,
+                                 argc, argv);
+}

@@ -1,0 +1,6 @@
+// Figure 9 (IPDPS'03): ping messages received per node — 50 nodes.
+#include "fig_curve_common.hpp"
+int main(int argc, char** argv) {
+  return bench::run_curve_figure("Figure 9", 50, bench::CurveMetric::kPing,
+                                 argc, argv);
+}

@@ -1,0 +1,6 @@
+// Figure 10 (IPDPS'03): ping messages received per node — 150 nodes.
+#include "fig_curve_common.hpp"
+int main(int argc, char** argv) {
+  return bench::run_curve_figure("Figure 10", 150, bench::CurveMetric::kPing,
+                                 argc, argv);
+}

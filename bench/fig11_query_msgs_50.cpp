@@ -1,0 +1,6 @@
+// Figure 11 (IPDPS'03): query messages received per node — 50 nodes.
+#include "fig_curve_common.hpp"
+int main(int argc, char** argv) {
+  return bench::run_curve_figure("Figure 11", 50, bench::CurveMetric::kQuery,
+                                 argc, argv);
+}

@@ -1,0 +1,6 @@
+// Figure 12 (IPDPS'03): query messages received per node — 150 nodes.
+#include "fig_curve_common.hpp"
+int main(int argc, char** argv) {
+  return bench::run_curve_figure("Figure 12", 150, bench::CurveMetric::kQuery,
+                                 argc, argv);
+}

@@ -1,0 +1,113 @@
+// Shared implementation of Figures 7-12: per-node received-message counts,
+// nodes decreasingly ordered, one curve per algorithm.
+#pragma once
+
+#include "bench_common.hpp"
+
+namespace bench {
+
+enum class CurveMetric { kConnect, kPing, kQuery };
+
+inline const stats::SortedCurve& select_curve(
+    const scenario::ExperimentResult& result, CurveMetric metric) {
+  switch (metric) {
+    case CurveMetric::kConnect: return result.connect_curve;
+    case CurveMetric::kPing: return result.ping_curve;
+    case CurveMetric::kQuery: return result.query_curve;
+  }
+  return result.connect_curve;
+}
+
+inline const char* metric_name(CurveMetric metric) {
+  switch (metric) {
+    case CurveMetric::kConnect: return "connect messages";
+    case CurveMetric::kPing: return "ping messages";
+    case CurveMetric::kQuery: return "query messages";
+  }
+  return "?";
+}
+
+inline const char* metric_expectation(CurveMetric metric) {
+  switch (metric) {
+    case CurveMetric::kConnect:
+      return "paper's expected shape: Basic (indiscriminate broadcast) far "
+             "above the rest;\nRandom above Regular/Hybrid because its "
+             "long-link probes use larger TTLs.";
+    case CurveMetric::kPing:
+      return "paper's expected shape: Basic roughly doubles the improved "
+             "algorithms\n(both endpoints ping an asymmetric reference) and "
+             "is less evenly distributed.";
+    case CurveMetric::kQuery:
+      return "paper's expected shape: Hybrid concentrates query load on its "
+             "masters (steep head);\nRegular/Random spread load evenly "
+             "across nodes.";
+  }
+  return "";
+}
+
+inline int run_curve_figure(const char* figure, std::size_t num_nodes,
+                            CurveMetric metric, int argc, char** argv) {
+  scenario::Parameters params = paper_scenario(num_nodes);
+  apply_cli(&params, argc, argv);
+  const std::size_t seeds = scenario::bench_seed_count();
+  print_header(figure, metric_name(metric), params, seeds);
+
+  std::vector<scenario::ExperimentResult> results;
+  for (const auto kind : kAllAlgorithms) {
+    results.push_back(run_algorithm(params, kind, seeds));
+  }
+
+  std::vector<std::pair<core::AlgorithmKind, const stats::SortedCurve*>> curves;
+  for (std::size_t i = 0; i < kAllAlgorithms.size(); ++i) {
+    curves.emplace_back(kAllAlgorithms[i], &select_curve(results[i], metric));
+  }
+  print_sorted_curves(metric_name(metric), curves);
+
+  {
+    // Plot-ready export: rank, then mean & ci per algorithm.
+    std::vector<std::string> headers{"rank"};
+    for (const auto kind : kAllAlgorithms) {
+      headers.push_back(std::string(core::algorithm_name(kind)) + "_mean");
+      headers.push_back(std::string(core::algorithm_name(kind)) + "_ci95");
+    }
+    stats::Table csv(std::move(headers));
+    std::size_t points = 0;
+    for (const auto& [kind, curve] : curves) {
+      points = std::max(points, curve->points());
+    }
+    for (std::size_t i = 0; i < points; ++i) {
+      std::vector<double> row{static_cast<double>(i + 1)};
+      for (const auto& [kind, curve] : curves) {
+        row.push_back(i < curve->points() ? curve->mean_at(i) : 0.0);
+        row.push_back(i < curve->points() ? curve->ci95_at(i) : 0.0);
+      }
+      csv.add_row_values(row);
+    }
+    std::string name = figure;
+    for (char& c : name) {
+      if (c == ' ') c = '_';
+    }
+    maybe_export_csv(csv, name.c_str());
+  }
+
+  // Summary: per-node mean and Jain's fairness index per algorithm — the
+  // quantified form of the paper's "the more uniform the distribution is,
+  // the best performance" argument (§7.4).
+  std::cout << "\nmean / fairness of " << metric_name(metric)
+            << " received per node:\n";
+  for (std::size_t i = 0; i < kAllAlgorithms.size(); ++i) {
+    const auto& curve = select_curve(results[i], metric);
+    const std::vector<double> means = curve.means();
+    double total = 0.0;
+    for (const double v : means) total += v;
+    std::cout << "  " << core::algorithm_name(kAllAlgorithms[i]) << ": mean "
+              << fmt(total / static_cast<double>(
+                                 std::max<std::size_t>(1, means.size())))
+              << ", Jain fairness "
+              << fmt(stats::jain_fairness(means), 3) << "\n";
+  }
+  std::cout << "\n" << metric_expectation(metric) << "\n";
+  return 0;
+}
+
+}  // namespace bench

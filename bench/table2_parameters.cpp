@@ -1,0 +1,50 @@
+// Table 2 (IPDPS'03): "Parameters used and their typical values."
+//
+// Prints the paper's parameter table next to the values this
+// implementation uses, including the timers the paper leaves unspecified
+// (calibration documented in DESIGN.md / EXPERIMENTS.md).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bench;
+  scenario::Parameters p = paper_scenario(50);
+  apply_cli(&p, argc, argv);
+
+  std::cout << "== Table 2 — parameters used and their typical values ==\n\n";
+  stats::Table table({"parameter", "paper", "this implementation"});
+  const auto row = [&](const char* name, const char* paper,
+                       const std::string& ours) {
+    table.add_row({name, paper, ours});
+  };
+  row("transmission range", "10 m", fmt(p.radio_range, 0) + " m");
+  row("number of distinct searchable files", "20",
+      std::to_string(p.num_files));
+  row("frequency of the most popular file", "40%",
+      fmt(100.0 * p.max_frequency, 0) + "%");
+  row("NHOPS_INITIAL", "2 ad-hoc hops", std::to_string(p.p2p.nhops_initial));
+  row("MAXNHOPS", "6 ad-hoc hops", std::to_string(p.p2p.maxnhops));
+  row("NHOPS (Basic Algorithm)", "6 ad-hoc hops",
+      std::to_string(p.p2p.nhops_basic));
+  row("MAXDIST", "6 ad-hoc hops", std::to_string(p.p2p.maxdist));
+  row("MAXNCONN", "3", std::to_string(p.p2p.maxnconn));
+  row("MAXNSLAVES", "3", std::to_string(p.p2p.maxnslaves));
+  row("TTL for queries", "6 p2p hops", std::to_string(p.p2p.query_ttl));
+  row("area", "100 m x 100 m",
+      fmt(p.area_width, 0) + " m x " + fmt(p.area_height, 0) + " m");
+  row("nodes", "50 / 150", "50 / 150 (benches)");
+  row("p2p members", "75% of nodes",
+      fmt(100.0 * p.p2p_fraction, 0) + "% of nodes");
+  row("mobility", "random waypoint, <= 1 m/s, pause <= 100 s",
+      std::string("random waypoint, <= ") + fmt(p.max_speed, 1) +
+          " m/s, pause <= " + fmt(p.max_pause, 0) + " s");
+  row("simulated time", "3600 s", fmt(p.duration_s, 0) + " s");
+  row("repetitions", "33", std::to_string(scenario::bench_seed_count()));
+  row("TIMER_INITIAL (unspecified)", "-", fmt(p.p2p.timer_initial, 0) + " s");
+  row("MAXTIMER (unspecified)", "-", fmt(p.p2p.maxtimer, 0) + " s");
+  row("MAXTIMERMASTER (unspecified)", "-",
+      fmt(p.p2p.maxtimer_master, 0) + " s");
+  row("ping interval (unspecified)", "-", fmt(p.p2p.ping_interval, 0) + " s");
+  row("pong timeout (unspecified)", "-", fmt(p.p2p.pong_timeout, 0) + " s");
+  table.print(std::cout);
+  return 0;
+}

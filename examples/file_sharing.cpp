@@ -1,0 +1,78 @@
+// File sharing at a convention (paper §4: "conventions or meetings, where
+// people, for comfortableness, wish quickly exchanging of information").
+//
+// 150 attendees with PDAs/notebooks in a 100x100 m hall, 75% running the
+// file-sharing app. We deploy the Random algorithm, let the overlay form,
+// and report how well content of each popularity rank can be found — the
+// paper's Figure 6 experiment, narrated for one run.
+#include <iostream>
+
+#include "scenario/run.hpp"
+#include "stats/table.hpp"
+#include "util/config.hpp"
+
+int main(int argc, char** argv) {
+  using namespace p2p;
+
+  util::Config config;
+  for (int i = 1; i < argc; ++i) {
+    std::string error;
+    if (!config.parse_override(argv[i], &error)) {
+      std::cerr << "bad argument '" << argv[i] << "': " << error << "\n";
+      return 1;
+    }
+  }
+
+  scenario::Parameters params;
+  params.num_nodes = 150;
+  params.algorithm = core::AlgorithmKind::kRandom;
+  params.duration_s = 1800.0;
+  if (const std::string error = params.apply(config); !error.empty()) {
+    std::cerr << "bad parameter: " << error << "\n";
+    return 1;
+  }
+
+  std::cout << "Convention-hall file sharing — " << params.summary() << "\n\n";
+
+  scenario::SimulationRun run(params);
+  const scenario::RunResult result = run.run();
+
+  std::cout << "Overlay after " << params.duration_s << " s:\n"
+            << "  members: " << result.num_members
+            << ", overlay edges: " << result.overlay_final.edges
+            << ", components: " << result.overlay_final.components
+            << " (largest " << result.overlay_final.largest_component << ")\n"
+            << "  clustering coefficient: " << result.overlay_final.clustering
+            << ", characteristic path length: "
+            << result.overlay_final.path_length << "\n\n";
+
+  stats::Table table({"file rank", "placement copies", "requests",
+                      "answered %", "answers/request", "avg min distance"});
+  for (std::uint32_t rank = 1; rank <= params.num_files; ++rank) {
+    const auto& f = result.per_file[rank - 1];
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "%u|%u|%llu|%.1f|%.2f|%.2f", rank,
+                  run.placement().copies_of(rank),
+                  static_cast<unsigned long long>(f.requests),
+                  100.0 * f.answered_fraction(), f.answers_per_request(),
+                  f.mean_min_physical());
+    std::vector<std::string> cells;
+    std::string cur;
+    for (const char* p = buf;; ++p) {
+      if (*p == '|' || *p == '\0') {
+        cells.push_back(cur);
+        cur.clear();
+        if (*p == '\0') break;
+      } else {
+        cur += *p;
+      }
+    }
+    table.add_row(std::move(cells));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nZipf placement means popular files have many copies "
+               "nearby: answers decay\nwith rank while the distance to the "
+               "nearest copy creeps up — Figure 6's shape.\n";
+  return 0;
+}

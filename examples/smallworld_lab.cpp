@@ -1,0 +1,88 @@
+// Small-world laboratory (paper §6.1.2 and the §7.4 discussion of why the
+// Random algorithm's small-world effect was hard to observe at n=50/150).
+//
+// Compares the overlay graphs produced by Regular and Random on a static,
+// dense network where the prerequisite n >> k actually holds, and prints
+// clustering coefficient / characteristic path length side by side with
+// the regular-lattice and random-graph reference values the paper quotes.
+#include <iostream>
+
+#include "graph/metrics.hpp"
+#include "scenario/run.hpp"
+#include "stats/table.hpp"
+#include "util/config.hpp"
+
+int main(int argc, char** argv) {
+  using namespace p2p;
+
+  util::Config config;
+  for (int i = 1; i < argc; ++i) {
+    std::string error;
+    if (!config.parse_override(argv[i], &error)) {
+      std::cerr << "bad argument '" << argv[i] << "': " << error << "\n";
+      return 1;
+    }
+  }
+
+  scenario::Parameters base;
+  base.num_nodes = 250;        // n >> k = 3
+  base.p2p_fraction = 1.0;
+  base.area_width = 160.0;     // dense enough to be connected
+  base.area_height = 160.0;
+  base.mobile = false;         // isolate topology effects from churn
+  base.duration_s = 900.0;
+  base.p2p.enable_queries = false;  // overlay formation only
+  if (const std::string error = base.apply(config); !error.empty()) {
+    std::cerr << "bad parameter: " << error << "\n";
+    return 1;
+  }
+
+  std::cout << "Small-world lab — " << base.num_nodes
+            << " static nodes, overlay formation only\n\n";
+
+  stats::Table table({"overlay", "edges", "mean k", "clustering C",
+                      "path length L", "components", "sigma"});
+
+  const auto add_graph_row = [&](const char* name,
+                                 const graph::SmallWorldMetrics& m) {
+    char buf[64];
+    std::vector<std::string> row;
+    row.emplace_back(name);
+    row.push_back(std::to_string(m.edges));
+    std::snprintf(buf, sizeof buf, "%.2f", m.mean_degree);
+    row.emplace_back(buf);
+    std::snprintf(buf, sizeof buf, "%.3f", m.clustering);
+    row.emplace_back(buf);
+    std::snprintf(buf, sizeof buf, "%.2f", m.path_length);
+    row.emplace_back(buf);
+    row.push_back(std::to_string(m.components));
+    std::snprintf(buf, sizeof buf, "%.2f", m.smallworld_index);
+    row.emplace_back(buf);
+    table.add_row(std::move(row));
+  };
+
+  for (const auto kind :
+       {core::AlgorithmKind::kRegular, core::AlgorithmKind::kRandom}) {
+    scenario::Parameters params = base;
+    params.algorithm = kind;
+    scenario::SimulationRun run(params);
+    const scenario::RunResult result = run.run();
+    add_graph_row(core::algorithm_name(kind), result.overlay_final);
+  }
+
+  table.print(std::cout);
+
+  const auto n = static_cast<std::size_t>(
+      static_cast<double>(base.num_nodes) * base.p2p_fraction);
+  const std::size_t k = 3;
+  std::cout << "\nReference values for (n=" << n << ", k=" << k << "):\n"
+            << "  regular lattice path length n/2k  = "
+            << graph::regular_lattice_path_length(n, k) << "\n"
+            << "  random graph path length ln n/ln k = "
+            << graph::random_graph_path_length(n, k) << "\n"
+            << "\nThe Random overlay's long links should pull L toward the "
+               "random-graph value\nwhile clustering stays near Regular's — "
+               "the Watts-Strogatz small-world signature\nthe paper aimed "
+               "for (§6.1.4).\n";
+  return 0;
+}

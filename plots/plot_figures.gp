@@ -1,0 +1,45 @@
+# Gnuplot script for the figure-bench CSV exports.
+#
+#   mkdir -p csv && P2P_BENCH_CSV_DIR=csv ./build/bench/fig07_connect_msgs_50
+#   gnuplot -e "csvdir='csv'" plots/plot_figures.gp
+#
+# Produces PNGs mirroring the paper's Figures 7-12 ("nodes decreasingly
+# ordered by # of received messages") and 5/6 (distance + answers vs rank).
+
+if (!exists("csvdir")) csvdir = "csv"
+set datafile separator ","
+set terminal pngcairo size 900,600
+set key top right
+set grid
+
+do for [fig in "Figure_7 Figure_8 Figure_9 Figure_10 Figure_11 Figure_12"] {
+  infile = sprintf("%s/%s.csv", csvdir, fig)
+  set output sprintf("%s/%s.png", csvdir, fig)
+  set xlabel "Nodes - decreasingly ordered by received messages"
+  set ylabel "Messages received"
+  set title fig
+  plot infile using 1:2 with lines lw 2 title "Basic", \
+       infile using 1:4 with lines lw 2 title "Regular", \
+       infile using 1:6 with lines lw 2 title "Random", \
+       infile using 1:8 with lines lw 2 title "Hybrid"
+}
+
+do for [fig in "Figure_5 Figure_6"] {
+  infile = sprintf("%s/%s.csv", csvdir, fig)
+  set output sprintf("%s/%s_distance.png", csvdir, fig)
+  set xlabel "Files (popularity rank)"
+  set ylabel "Average minimum distance (hops)"
+  set title sprintf("%s - distance to find the file", fig)
+  plot infile using 1:2 with linespoints lw 2 title "Basic", \
+       infile using 1:4 with linespoints lw 2 title "Regular", \
+       infile using 1:6 with linespoints lw 2 title "Random", \
+       infile using 1:8 with linespoints lw 2 title "Hybrid"
+
+  set output sprintf("%s/%s_answers.png", csvdir, fig)
+  set ylabel "Average number of answers per request"
+  set title sprintf("%s - answers per file request", fig)
+  plot infile using 1:3 with linespoints lw 2 title "Basic", \
+       infile using 1:5 with linespoints lw 2 title "Regular", \
+       infile using 1:7 with linespoints lw 2 title "Random", \
+       infile using 1:9 with linespoints lw 2 title "Hybrid"
+}

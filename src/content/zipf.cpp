@@ -1,0 +1,35 @@
+#include "content/zipf.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace p2p::content {
+
+ZipfLaw::ZipfLaw(std::uint32_t num_files, double max_frequency)
+    : num_files_(num_files), max_frequency_(max_frequency) {
+  P2P_ASSERT(num_files >= 1);
+  P2P_ASSERT(max_frequency > 0.0 && max_frequency <= 1.0);
+  popularity_cdf_.resize(num_files);
+  double total = 0.0;
+  for (std::uint32_t k = 1; k <= num_files; ++k) {
+    total += 1.0 / static_cast<double>(k);
+    popularity_cdf_[k - 1] = total;
+  }
+  for (double& v : popularity_cdf_) v /= total;
+}
+
+double ZipfLaw::frequency(FileId rank) const {
+  P2P_ASSERT(rank >= 1 && rank <= num_files_);
+  return max_frequency_ / static_cast<double>(rank);
+}
+
+FileId ZipfLaw::sample_by_popularity(sim::RngStream& rng) const {
+  const double u = rng.uniform01();
+  const auto it =
+      std::lower_bound(popularity_cdf_.begin(), popularity_cdf_.end(), u);
+  const auto idx = static_cast<std::uint32_t>(it - popularity_cdf_.begin());
+  return std::min(idx, num_files_ - 1) + 1;
+}
+
+}  // namespace p2p::content

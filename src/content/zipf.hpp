@@ -1,0 +1,39 @@
+// Zipf-law content popularity (paper §7.2).
+//
+// "Different files are distributed in the network following a Zipf law
+// with maximum frequency MAXFREQ of 40%. This means that the most popular
+// file will be present in 40% of all nodes, the second most popular one in
+// 40%/2 = 20%, the third in 40%/3, and so on."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace p2p::content {
+
+/// 1-based popularity rank; rank 1 is the most popular file.
+using FileId = std::uint32_t;
+
+class ZipfLaw {
+ public:
+  /// `max_frequency` in (0, 1]; `num_files` >= 1.
+  ZipfLaw(std::uint32_t num_files, double max_frequency);
+
+  std::uint32_t num_files() const noexcept { return num_files_; }
+
+  /// Presence probability of the file with the given rank (1-based).
+  double frequency(FileId rank) const;
+
+  /// Draw a file according to popularity (P(rank) ∝ 1/rank) — used by
+  /// popularity-weighted query workloads.
+  FileId sample_by_popularity(sim::RngStream& rng) const;
+
+ private:
+  std::uint32_t num_files_;
+  double max_frequency_;
+  std::vector<double> popularity_cdf_;  // normalized 1/k weights
+};
+
+}  // namespace p2p::content

@@ -1,0 +1,68 @@
+#include "core/basic.hpp"
+
+namespace p2p::core {
+
+void BasicServent::on_start() { schedule_tick(0.0); }
+
+void BasicServent::schedule_tick(sim::SimTime delay) {
+  if (tick_event_ != sim::kInvalidEventId) return;  // one pending tick max
+  arm(tick_event_, delay, [this] {
+    tick_event_ = sim::kInvalidEventId;
+    establish_tick();
+  });
+}
+
+void BasicServent::establish_tick() {
+  if (conns().size() < static_cast<std::size_t>(params().maxnconn)) {
+    auto probe = std::make_shared<ConnectProbe>();
+    probe->probe_id = new_probe_id();
+    probe->want = ProbeWant::kBasic;
+    flood_msg(std::move(probe), params().nhops_basic);
+  }
+  // Fixed interval between attempts — the algorithm keeps trying as long
+  // as the node is in the network ("whenever else it has less than
+  // MAXNCONN connections"), so the loop never stops.
+  schedule_tick(params().timer_initial);
+}
+
+void BasicServent::handle_flood(NodeId origin, const P2pMessage& msg,
+                                int hops) {
+  if (msg.type() != MsgType::kConnectProbe) return;
+  const auto& probe = static_cast<const ConnectProbe&>(msg);
+  if (probe.want != ProbeWant::kBasic) return;
+  // "Every node that listens to this message answers it."
+  auto offer = std::make_shared<ConnectOffer>();
+  offer->probe_id = probe.probe_id;
+  offer->hop_distance = static_cast<std::uint8_t>(hops);
+  send_msg(origin, std::move(offer));
+}
+
+void BasicServent::handle_control(NodeId src, const P2pMessage& msg,
+                                  int /*hops*/) {
+  if (msg.type() != MsgType::kConnectOffer) return;
+  // "As soon as a response arrives, the node establishes a connection to
+  // the neighbor who sent it, till the limit of MAXNCONN" — unilateral,
+  // asymmetric reference; the responder is never told.
+  if (conns().size() >= static_cast<std::size_t>(params().maxnconn)) return;
+  if (conns().connected(src)) return;
+  establish(src, ConnKind::kBasic, /*initiator=*/true);
+}
+
+void BasicServent::on_connection_established(Connection& /*conn*/) {}
+
+void BasicServent::on_connection_closed(NodeId /*peer*/, ConnKind /*kind*/,
+                                        CloseReason /*reason*/) {
+  // The periodic tick repopulates; nothing special to do.
+}
+
+bool BasicServent::can_accept(NodeId /*from*/, ConnKind /*kind*/) const {
+  // Basic never receives ConnectRequests (no handshake), but a symmetric
+  // peer algorithm could send one in mixed deployments: refuse.
+  return false;
+}
+
+bool BasicServent::can_initiate(ConnKind /*kind*/) const {
+  return conns().size() < static_cast<std::size_t>(params().maxnconn);
+}
+
+}  // namespace p2p::core

@@ -1,0 +1,45 @@
+// The Basic algorithm (paper §6.1.1) — the comparison baseline.
+//
+// "Simplicity ... implies easy implementation but partially ignores the
+// dynamic nature of the network":
+//   * discovery broadcasts always travel the full NHOPS = 6 radius,
+//   * every node that hears a probe answers it,
+//   * references are asymmetric — the prober records the responder's
+//     address unilaterally; no handshake,
+//   * the retry interval TIMER is fixed (no backoff),
+//   * both endpoints of a "connection" independently ping it (the
+//     improved algorithms halve this), and there is no distance check.
+#pragma once
+
+#include "core/servent.hpp"
+
+namespace p2p::core {
+
+class BasicServent final : public Servent {
+ public:
+  BasicServent(const ServentContext& ctx, const P2pParams& params,
+               sim::RngStream rng)
+      : Servent(ctx, params, std::move(rng)) {}
+
+  AlgorithmKind algorithm() const noexcept override {
+    return AlgorithmKind::kBasic;
+  }
+
+ protected:
+  void on_start() override;
+  void handle_flood(NodeId origin, const P2pMessage& msg, int hops) override;
+  void handle_control(NodeId src, const P2pMessage& msg, int hops) override;
+  void on_connection_established(Connection& conn) override;
+  void on_connection_closed(NodeId peer, ConnKind kind,
+                            CloseReason reason) override;
+  bool can_accept(NodeId from, ConnKind kind) const override;
+  bool can_initiate(ConnKind kind) const override;
+
+ private:
+  void establish_tick();
+  void schedule_tick(sim::SimTime delay);
+
+  sim::EventId tick_event_ = sim::kInvalidEventId;
+};
+
+}  // namespace p2p::core

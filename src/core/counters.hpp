@@ -1,0 +1,52 @@
+// Per-servent message accounting — the raw material of Figures 7-12.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/messages.hpp"
+
+namespace p2p::core {
+
+struct MessageCounters {
+  /// Received message counts indexed by MsgType.
+  std::array<std::uint64_t, 14> received{};
+  /// Sent message counts indexed by MsgType (unicasts + originated floods).
+  std::array<std::uint64_t, 14> sent{};
+
+  void count_received(MsgType type) noexcept {
+    ++received[static_cast<std::size_t>(type)];
+  }
+  void count_sent(MsgType type) noexcept {
+    ++sent[static_cast<std::size_t>(type)];
+  }
+  std::uint64_t received_of(MsgType type) const noexcept {
+    return received[static_cast<std::size_t>(type)];
+  }
+  std::uint64_t sent_of(MsgType type) const noexcept {
+    return sent[static_cast<std::size_t>(type)];
+  }
+
+  /// Figure 7/8 metric: connection-establishment messages received.
+  std::uint64_t connect_received() const noexcept {
+    std::uint64_t total = 0;
+    for (std::size_t t = 0; t < received.size(); ++t) {
+      if (is_connect_message(static_cast<MsgType>(t))) total += received[t];
+    }
+    return total;
+  }
+  /// Figure 9/10 metric: ping traffic (pings + pongs) received.
+  std::uint64_t ping_received() const noexcept {
+    std::uint64_t total = 0;
+    for (std::size_t t = 0; t < received.size(); ++t) {
+      if (is_ping_message(static_cast<MsgType>(t))) total += received[t];
+    }
+    return total;
+  }
+  /// Figure 11/12 metric: query messages received.
+  std::uint64_t query_received() const noexcept {
+    return received_of(MsgType::kQuery);
+  }
+};
+
+}  // namespace p2p::core

@@ -1,0 +1,149 @@
+// P2P overlay messages (paper §2, §6).
+//
+// All messages derive from net::AppPayload and travel either inside the
+// controlled broadcast (probes, captures) or as AODV unicast data
+// (everything else). Sizes follow Gnutella 0.4 descriptor sizes where a
+// counterpart exists.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "content/zipf.hpp"
+#include "net/types.hpp"
+
+namespace p2p::core {
+
+using content::FileId;
+using net::NodeId;
+
+enum class MsgType : std::uint8_t {
+  kConnectProbe,   // flooded: "looking for connections within nhops"
+  kConnectOffer,   // unicast answer to a probe
+  kConnectRequest, // prober claims the offered slot (3-way step 2)
+  kConnectAck,     // responder confirms/denies (3-way step 3)
+  kPing,           // connection keep-alive
+  kPong,           // keep-alive answer
+  kQuery,          // Gnutella-like content search
+  kQueryHit,       // answer, sent directly to the requirer
+  kCapture,        // Hybrid: qualifier announcement
+  kSlaveRequest,   // Hybrid: ask to become a slave (3-way step 1)
+  kSlaveAccept,    // Hybrid: master grants the slot (step 2)
+  kSlaveConfirm,   // Hybrid: slave commits (step 3)
+  kSlaveReject,    // Hybrid: master has no capacity
+  kBye,            // graceful connection close
+};
+
+const char* msg_type_name(MsgType type) noexcept;
+
+/// Messages belonging to connection (re)configuration — what Figures 7/8
+/// count as "connect messages".
+bool is_connect_message(MsgType type) noexcept;
+/// Ping traffic — what Figures 9/10 count (ping + pong, as in Gnutella's
+/// ping/pong descriptor family).
+bool is_ping_message(MsgType type) noexcept;
+
+/// What kind of slot a probe wants filled. Responder willingness and
+/// capacity checks depend on it.
+enum class ProbeWant : std::uint8_t {
+  kBasic,   // Basic: every listener answers
+  kRegular, // Regular/Random: nodes with spare capacity answer
+  kRandom,  // Random's long link: same willingness as regular
+  kMaster,  // Hybrid: only masters answer
+};
+
+struct P2pMessage : net::AppPayload {
+  virtual MsgType type() const noexcept = 0;
+};
+using P2pMessagePtr = std::shared_ptr<const P2pMessage>;
+
+struct ConnectProbe final : P2pMessage {
+  std::uint64_t probe_id = 0;
+  ProbeWant want = ProbeWant::kRegular;
+  MsgType type() const noexcept override { return MsgType::kConnectProbe; }
+  std::size_t size_bytes() const noexcept override { return 23; }
+};
+
+struct ConnectOffer final : P2pMessage {
+  std::uint64_t probe_id = 0;
+  std::uint8_t hop_distance = 0;  // ad-hoc hops the probe traveled
+  MsgType type() const noexcept override { return MsgType::kConnectOffer; }
+  std::size_t size_bytes() const noexcept override { return 23; }
+};
+
+struct ConnectRequest final : P2pMessage {
+  std::uint64_t probe_id = 0;
+  ProbeWant want = ProbeWant::kRegular;
+  MsgType type() const noexcept override { return MsgType::kConnectRequest; }
+  std::size_t size_bytes() const noexcept override { return 23; }
+};
+
+struct ConnectAck final : P2pMessage {
+  std::uint64_t probe_id = 0;
+  bool accepted = false;
+  MsgType type() const noexcept override { return MsgType::kConnectAck; }
+  std::size_t size_bytes() const noexcept override { return 23; }
+};
+
+struct Ping final : P2pMessage {
+  MsgType type() const noexcept override { return MsgType::kPing; }
+  std::size_t size_bytes() const noexcept override { return 23; }
+};
+
+struct Pong final : P2pMessage {
+  MsgType type() const noexcept override { return MsgType::kPong; }
+  std::size_t size_bytes() const noexcept override { return 37; }
+};
+
+struct Query final : P2pMessage {
+  std::uint64_t query_id = 0;  // unique per origin
+  NodeId origin = net::kInvalidNode;
+  FileId file = 0;
+  std::uint8_t ttl = 0;        // remaining p2p hops
+  std::uint8_t p2p_hops = 0;   // overlay hops already traveled
+  MsgType type() const noexcept override { return MsgType::kQuery; }
+  std::size_t size_bytes() const noexcept override { return 41; }
+};
+
+struct QueryHit final : P2pMessage {
+  std::uint64_t query_id = 0;
+  FileId file = 0;
+  NodeId holder = net::kInvalidNode;
+  std::uint8_t p2p_hops = 0;  // overlay hops the query traveled to the holder
+  MsgType type() const noexcept override { return MsgType::kQueryHit; }
+  std::size_t size_bytes() const noexcept override { return 49; }
+};
+
+struct Capture final : P2pMessage {
+  std::uint32_t qualifier = 0;
+  MsgType type() const noexcept override { return MsgType::kCapture; }
+  std::size_t size_bytes() const noexcept override { return 27; }
+};
+
+struct SlaveRequest final : P2pMessage {
+  std::uint32_t qualifier = 0;
+  MsgType type() const noexcept override { return MsgType::kSlaveRequest; }
+  std::size_t size_bytes() const noexcept override { return 27; }
+};
+
+struct SlaveAccept final : P2pMessage {
+  MsgType type() const noexcept override { return MsgType::kSlaveAccept; }
+  std::size_t size_bytes() const noexcept override { return 23; }
+};
+
+struct SlaveConfirm final : P2pMessage {
+  MsgType type() const noexcept override { return MsgType::kSlaveConfirm; }
+  std::size_t size_bytes() const noexcept override { return 23; }
+};
+
+struct SlaveReject final : P2pMessage {
+  MsgType type() const noexcept override { return MsgType::kSlaveReject; }
+  std::size_t size_bytes() const noexcept override { return 23; }
+};
+
+struct Bye final : P2pMessage {
+  MsgType type() const noexcept override { return MsgType::kBye; }
+  std::size_t size_bytes() const noexcept override { return 23; }
+};
+
+}  // namespace p2p::core

@@ -1,0 +1,61 @@
+// Parameters of the (re)configuration algorithms (paper §6 + Table 2).
+//
+// Values the paper specifies are defaulted to its Table 2; timer values
+// the paper leaves unspecified are defaulted to the choices documented in
+// DESIGN.md §1 and swept by bench_ablation_timers.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace p2p::core {
+
+enum class AlgorithmKind : std::uint8_t {
+  kBasic,    // §6.1.1 — naive baseline, asymmetric references
+  kRegular,  // §6.1.3 — progressive radius, symmetric connections
+  kRandom,   // §6.1.4 — Regular + one long-range "small-world" link
+  kHybrid,   // §6.2   — master/slave clustering for heterogeneous nets
+};
+
+const char* algorithm_name(AlgorithmKind kind) noexcept;
+
+struct P2pParams {
+  // ---- Table 2 ----
+  int maxnconn = 3;        // MAXNCONN: max connections per node
+  int nhops_initial = 2;   // NHOPS_INITIAL (ad-hoc hops)
+  int maxnhops = 6;        // MAXNHOPS (ad-hoc hops)
+  int nhops_basic = 6;     // NHOPS for the Basic algorithm
+  int maxdist = 6;         // MAXDIST (ad-hoc hops) for maintenance
+  int maxnslaves = 3;      // MAXNSLAVES (Hybrid)
+  int query_ttl = 6;       // TTL for queries (p2p hops)
+
+  // ---- timers (unspecified in the paper; see DESIGN.md §1) ----
+  // Calibrated so the absolute per-node message counts land in the same
+  // ranges as the paper's Figure 7-12 axes (EXPERIMENTS.md discusses the
+  // calibration; bench_ablation_timers sweeps them).
+  sim::SimTime timer_initial = 30.0;     // TIMER_INITIAL / Basic TIMER
+  sim::SimTime maxtimer = 480.0;         // MAXTIMER (backoff cap)
+  sim::SimTime maxtimer_master = 120.0;  // MAXTIMERMASTER: master w/o slaves
+  sim::SimTime ping_interval = 60.0;     // pause between pong and next ping
+  sim::SimTime pong_timeout = 20.0;      // initiator's wait for a pong
+  sim::SimTime silence_timeout = 180.0;  // responder's wait between pings
+  sim::SimTime offer_window = 2.0;       // prober collects offers this long
+  sim::SimTime handshake_timeout = 5.0;  // pending request expiry
+
+  // ---- query workload (§7.2) ----
+  sim::SimTime query_response_wait = 30.0;  // wait for responses
+  sim::SimTime query_gap_min = 15.0;        // then 15..45 s until next query
+  sim::SimTime query_gap_max = 45.0;
+  bool query_by_popularity = false;  // false: uniform file choice (default,
+                                     // gives equal samples per rank for the
+                                     // Fig 5/6 per-rank averages)
+  bool enable_queries = true;
+
+  /// Random algorithm: the long link may span up to 2*MAXNHOPS hops.
+  int random_max_hops() const noexcept { return 2 * maxnhops; }
+  /// Maintenance bound for random connections: 2*MAXDIST (paper fig. 2).
+  int random_maxdist() const noexcept { return 2 * maxdist; }
+};
+
+}  // namespace p2p::core

@@ -1,0 +1,63 @@
+// The progressive connection-search cycle shared by Regular, Random and
+// Hybrid (paper §6.1.3):
+//
+//   nhops starts at NHOPS_INITIAL and grows by 2 each attempt up to
+//   MAXNHOPS; the wrap to 0 means "a full cycle failed" — the backoff
+//   timer doubles (capped at MAXTIMER) and the cycle restarts. Whenever a
+//   connection is established the timer resets to TIMER_INITIAL ("this
+//   new connection may be a signal of a better network configuration").
+#pragma once
+
+#include <algorithm>
+
+#include "core/params.hpp"
+#include "sim/time.hpp"
+
+namespace p2p::core {
+
+class ProgressiveSearch {
+ public:
+  explicit ProgressiveSearch(const P2pParams& params)
+      : params_(&params),
+        nhops_(params.nhops_initial),
+        timer_(params.timer_initial) {}
+
+  /// One establish-loop iteration.
+  struct Step {
+    int flood_hops;     // > 0: probe within this radius; 0: backoff step
+    sim::SimTime wait;  // delay before the next iteration
+  };
+
+  Step advance() {
+    Step step{};
+    if (nhops_ != 0) {
+      step.flood_hops = nhops_;
+      step.wait = timer_;
+    } else {
+      timer_ = std::min(timer_ * 2.0, params_->maxtimer);
+      step.flood_hops = 0;
+      step.wait = 0.0;  // immediately restart the cycle at NHOPS_INITIAL
+    }
+    nhops_ = (nhops_ + 2) % (params_->maxnhops + 2);
+    return step;
+  }
+
+  /// Paper: "whenever a connection is done, the timer is reset".
+  void on_connection_established() noexcept { timer_ = params_->timer_initial; }
+
+  /// Restart the whole cycle (Hybrid uses this on state transitions).
+  void reset() noexcept {
+    nhops_ = params_->nhops_initial;
+    timer_ = params_->timer_initial;
+  }
+
+  int nhops() const noexcept { return nhops_; }
+  sim::SimTime timer() const noexcept { return timer_; }
+
+ private:
+  const P2pParams* params_;
+  int nhops_;
+  sim::SimTime timer_;
+};
+
+}  // namespace p2p::core

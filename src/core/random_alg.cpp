@@ -1,0 +1,80 @@
+#include "core/random_alg.hpp"
+
+#include <algorithm>
+
+namespace p2p::core {
+
+bool RandomServent::random_needed() const {
+  // A node already holding MAXNCONN connections (its slots may be filled
+  // by inbound links) has no free slot for the random connection and must
+  // not keep probing for one — the paper's loop probes only while
+  // "number of connections < MAXNCONN".
+  return conns().size() < static_cast<std::size_t>(params().maxnconn) &&
+         !conns().has(ConnKind::kRandom) &&
+         pending_requests(ConnKind::kRandom) == 0 && !collecting_;
+}
+
+void RandomServent::random_phase(int current_nhops) {
+  if (!random_needed()) return;
+  // "set randhops to a randomly chosen value between nhops and
+  // 2*MAXNHOPS" — when the cycle is at its backoff step (nhops == 0) we
+  // use NHOPS_INITIAL as the lower bound.
+  const int lo = std::max(current_nhops, params().nhops_initial);
+  const int hi = params().random_max_hops();
+  const int randhops =
+      static_cast<int>(rng().uniform_int(lo, std::max(lo, hi)));
+
+  auto probe = std::make_shared<ConnectProbe>();
+  probe->probe_id = new_probe_id();
+  probe->want = ProbeWant::kRandom;
+  random_probe_id_ = probe->probe_id;
+  collecting_ = true;
+  best_offer_peer_ = net::kInvalidNode;
+  best_offer_distance_ = -1;
+  flood_msg(std::move(probe), randhops);
+
+  // Collect offers, then continue the handshake with the farthest node.
+  arm(collect_event_, params().offer_window, [this, id = random_probe_id_] {
+    collect_event_ = sim::kInvalidEventId;
+    finish_offer_collection(id);
+  });
+}
+
+void RandomServent::handle_control(NodeId src, const P2pMessage& msg,
+                                   int hops) {
+  if (msg.type() == MsgType::kConnectOffer) {
+    const auto& offer = static_cast<const ConnectOffer&>(msg);
+    if (collecting_ && offer.probe_id == random_probe_id_) {
+      const int dist = int{offer.hop_distance};
+      if (dist > best_offer_distance_ && !conns().connected(src) &&
+          !has_pending_request(src)) {
+        best_offer_distance_ = dist;
+        best_offer_peer_ = src;
+      }
+      return;
+    }
+  }
+  RegularServent::handle_control(src, msg, hops);
+}
+
+void RandomServent::finish_offer_collection(std::uint64_t probe_id) {
+  if (!collecting_ || probe_id != random_probe_id_) return;
+  collecting_ = false;
+  if (best_offer_peer_ == net::kInvalidNode) return;  // nobody answered
+  request_connection(best_offer_peer_, probe_id, ProbeWant::kRandom,
+                     ConnKind::kRandom);
+}
+
+void RandomServent::on_connection_closed(NodeId peer, ConnKind kind,
+                                         CloseReason reason) {
+  // "whenever it goes down, it must be replaced by another random
+  // connection" — the prompt establish tick takes care of it because
+  // random_needed() is true again.
+  RegularServent::on_connection_closed(peer, kind, reason);
+}
+
+void RandomServent::on_request_failed(NodeId peer, ConnKind kind) {
+  RegularServent::on_request_failed(peer, kind);
+}
+
+}  // namespace p2p::core

@@ -1,0 +1,52 @@
+// The Random algorithm (paper §6.1.4) — Regular plus one long-range link.
+//
+// The first MAXNCONN-1 connections follow the Regular algorithm exactly
+// ("regular connections"). The last slot is reserved for a *random
+// connection*: the node floods a probe within a randomly chosen radius
+// randhops ∈ [nhops, 2*MAXNHOPS], collects the offers for a short window
+// and "only continues the three-way handshake with the most distant
+// neighbor". If the random connection goes down it must be replaced by
+// another random connection. The intended effect is the Watts–Strogatz
+// rewiring: a few long bridges shorten global path lengths while the
+// clustering coefficient stays high (§6.1.2).
+#pragma once
+
+#include "core/regular.hpp"
+
+namespace p2p::core {
+
+class RandomServent final : public RegularServent {
+ public:
+  RandomServent(const ServentContext& ctx, const P2pParams& params,
+                sim::RngStream rng)
+      : RegularServent(ctx, params, std::move(rng)) {}
+
+  AlgorithmKind algorithm() const noexcept override {
+    return AlgorithmKind::kRandom;
+  }
+
+ protected:
+  std::size_t regular_target() const override {
+    // Last slot is reserved for the random connection.
+    return static_cast<std::size_t>(params().maxnconn - 1);
+  }
+  bool random_needed() const override;
+  void random_phase(int current_nhops) override;
+
+  void handle_control(NodeId src, const P2pMessage& msg, int hops) override;
+  void on_connection_closed(NodeId peer, ConnKind kind,
+                            CloseReason reason) override;
+  void on_request_failed(NodeId peer, ConnKind kind) override;
+
+ private:
+  void finish_offer_collection(std::uint64_t probe_id);
+
+  // One random-probe in flight at a time.
+  bool collecting_ = false;
+  std::uint64_t random_probe_id_ = 0;
+  NodeId best_offer_peer_ = net::kInvalidNode;
+  int best_offer_distance_ = -1;
+  sim::EventId collect_event_ = sim::kInvalidEventId;
+};
+
+}  // namespace p2p::core

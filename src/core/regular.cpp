@@ -1,0 +1,119 @@
+#include "core/regular.hpp"
+
+namespace p2p::core {
+
+void RegularServent::on_start() { schedule_tick(0.0); }
+
+void RegularServent::schedule_tick(sim::SimTime delay) {
+  if (tick_event_ != sim::kInvalidEventId) return;  // one pending tick max
+  arm(tick_event_, delay, [this] {
+    tick_event_ = sim::kInvalidEventId;
+    establish_tick();
+  });
+}
+
+std::size_t RegularServent::regular_deficit() const {
+  const std::size_t held = conns().count(ConnKind::kRegular);
+  const std::size_t in_flight = pending_requests(ConnKind::kRegular);
+  const std::size_t target = regular_target();
+  return held + in_flight >= target ? 0 : target - held - in_flight;
+}
+
+void RegularServent::establish_tick() {
+  const std::size_t deficit = regular_deficit();
+  if (deficit == 0 && !random_needed()) {
+    // Satisfied. The loop re-arms when a connection closes; we also keep a
+    // slow heartbeat so a node that lost track (e.g. all requests raced)
+    // re-evaluates eventually.
+    schedule_tick(params().maxtimer);
+    return;
+  }
+  const ProgressiveSearch::Step step = search_.advance();
+  if (step.flood_hops > 0 && deficit > 0) {
+    auto probe = std::make_shared<ConnectProbe>();
+    probe->probe_id = new_probe_id();
+    probe->want = ProbeWant::kRegular;
+    active_probes_[probe->probe_id] =
+        ActiveProbe{ProbeWant::kRegular,
+                    sim().now() + params().offer_window + params().handshake_timeout};
+    flood_msg(std::move(probe), step.flood_hops);
+  }
+  // Random's long-link phase runs every iteration (paper fig. 3), with the
+  // current nhops value as the lower bound of the random radius.
+  random_phase(step.flood_hops);
+  schedule_tick(step.wait > 0.0 ? step.wait : 0.01);
+}
+
+RegularServent::ActiveProbe* RegularServent::find_active_probe(
+    std::uint64_t probe_id) {
+  // Lazy expiry sweep: the map stays tiny (a handful of live probes).
+  for (auto it = active_probes_.begin(); it != active_probes_.end();) {
+    if (it->second.expires <= sim().now()) {
+      it = active_probes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  const auto it = active_probes_.find(probe_id);
+  return it == active_probes_.end() ? nullptr : &it->second;
+}
+
+void RegularServent::handle_flood(NodeId origin, const P2pMessage& msg,
+                                  int hops) {
+  if (msg.type() != MsgType::kConnectProbe) return;
+  const auto& probe = static_cast<const ConnectProbe&>(msg);
+  if (probe.want != ProbeWant::kRegular && probe.want != ProbeWant::kRandom) {
+    return;
+  }
+  // "a node willing to connect starts a three-way handshake with the
+  // sender": willing = has spare capacity and no link to the prober yet.
+  if (conns().connected(origin) || has_pending_request(origin)) return;
+  if (conns().size() >= static_cast<std::size_t>(params().maxnconn)) return;
+  auto offer = std::make_shared<ConnectOffer>();
+  offer->probe_id = probe.probe_id;
+  offer->hop_distance = static_cast<std::uint8_t>(hops);
+  send_msg(origin, std::move(offer));
+}
+
+void RegularServent::handle_control(NodeId src, const P2pMessage& msg,
+                                    int /*hops*/) {
+  if (msg.type() != MsgType::kConnectOffer) return;
+  const auto& offer = static_cast<const ConnectOffer&>(msg);
+  const ActiveProbe* probe = find_active_probe(offer.probe_id);
+  if (probe == nullptr) return;  // stale offer
+  if (probe->want == ProbeWant::kRegular) {
+    if (regular_deficit() == 0) return;
+    request_connection(src, offer.probe_id, ProbeWant::kRegular,
+                       ConnKind::kRegular);
+  }
+  // Random-probe offers are collected by RandomServent::handle_control.
+}
+
+void RegularServent::on_connection_established(Connection& /*conn*/) {
+  search_.on_connection_established();
+}
+
+void RegularServent::on_connection_closed(NodeId /*peer*/, ConnKind /*kind*/,
+                                          CloseReason /*reason*/) {
+  schedule_tick(0.01);  // re-enter the establish loop promptly
+}
+
+void RegularServent::on_request_failed(NodeId /*peer*/, ConnKind /*kind*/) {
+  schedule_tick(0.01);
+}
+
+bool RegularServent::can_accept(NodeId /*from*/, ConnKind kind) const {
+  if (kind != ConnKind::kRegular && kind != ConnKind::kRandom) return false;
+  return conns().size() < static_cast<std::size_t>(params().maxnconn);
+}
+
+bool RegularServent::can_initiate(ConnKind kind) const {
+  if (kind == ConnKind::kRegular) {
+    const std::size_t held = conns().count(ConnKind::kRegular);
+    return held < regular_target() &&
+           conns().size() < static_cast<std::size_t>(params().maxnconn);
+  }
+  return conns().size() < static_cast<std::size_t>(params().maxnconn);
+}
+
+}  // namespace p2p::core

@@ -1,0 +1,72 @@
+// The Regular algorithm (paper §6.1.3).
+//
+// Four improvements over Basic:
+//   1. the probe radius grows gradually (NHOPS_INITIAL, +2, ..., MAXNHOPS)
+//      instead of always flooding the full radius;
+//   2. connected nodes must stay within MAXDIST hops — pings/pongs span a
+//      narrower area;
+//   3. connections are symmetric (3-way handshake) and only the initiator
+//      pings, halving keep-alive traffic;
+//   4. the retry timer doubles after every failed full cycle (capped at
+//      MAXTIMER) and resets when a connection is established.
+#pragma once
+
+#include "core/progressive.hpp"
+#include "core/servent.hpp"
+
+namespace p2p::core {
+
+class RegularServent : public Servent {
+ public:
+  RegularServent(const ServentContext& ctx, const P2pParams& params,
+                 sim::RngStream rng)
+      : Servent(ctx, params, std::move(rng)), search_(this->params()) {}
+
+  AlgorithmKind algorithm() const noexcept override {
+    return AlgorithmKind::kRegular;
+  }
+
+ protected:
+  void on_start() override;
+  void handle_flood(NodeId origin, const P2pMessage& msg, int hops) override;
+  void handle_control(NodeId src, const P2pMessage& msg, int hops) override;
+  void on_connection_established(Connection& conn) override;
+  void on_connection_closed(NodeId peer, ConnKind kind,
+                            CloseReason reason) override;
+  void on_request_failed(NodeId peer, ConnKind kind) override;
+  bool can_accept(NodeId from, ConnKind kind) const override;
+  bool can_initiate(ConnKind kind) const override;
+
+  /// How many more symmetric connections this node wants right now
+  /// (Random overrides: it reserves the last slot for the random link).
+  virtual std::size_t regular_target() const {
+    return static_cast<std::size_t>(params().maxnconn);
+  }
+  /// Hook for Random's long-link phase, invoked each establish tick.
+  virtual void random_phase(int /*current_nhops*/) {}
+  /// Random overrides: true while the long link is missing.
+  virtual bool random_needed() const { return false; }
+
+  /// Outstanding regular deficit: target - held - in-flight requests.
+  std::size_t regular_deficit() const;
+
+  void schedule_tick(sim::SimTime delay);
+  ProgressiveSearch& search() noexcept { return search_; }
+
+  /// Probes we originated recently, so offers can be matched to the kind
+  /// of slot they answer. Entries expire lazily.
+  struct ActiveProbe {
+    ProbeWant want;
+    sim::SimTime expires;
+  };
+  std::map<std::uint64_t, ActiveProbe> active_probes_;
+  ActiveProbe* find_active_probe(std::uint64_t probe_id);
+
+ private:
+  void establish_tick();
+
+  ProgressiveSearch search_;
+  sim::EventId tick_event_ = sim::kInvalidEventId;
+};
+
+}  // namespace p2p::core

@@ -1,0 +1,44 @@
+// 2-D geometry primitives for node positions.
+#pragma once
+
+#include <cmath>
+
+namespace p2p::geo {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2 operator+(Vec2 o) const noexcept { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const noexcept { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const noexcept { return {x * s, y * s}; }
+  constexpr bool operator==(const Vec2&) const noexcept = default;
+
+  constexpr double dot(Vec2 o) const noexcept { return x * o.x + y * o.y; }
+  constexpr double norm2() const noexcept { return x * x + y * y; }
+  double norm() const noexcept { return std::sqrt(norm2()); }
+};
+
+inline double distance(Vec2 a, Vec2 b) noexcept { return (a - b).norm(); }
+constexpr double distance2(Vec2 a, Vec2 b) noexcept { return (a - b).norm2(); }
+
+/// Axis-aligned rectangle [0,width] x [0,height] — the deployment area.
+struct Region {
+  double width = 0.0;
+  double height = 0.0;
+
+  constexpr bool contains(Vec2 p) const noexcept {
+    return p.x >= 0.0 && p.x <= width && p.y >= 0.0 && p.y <= height;
+  }
+  constexpr double area() const noexcept { return width * height; }
+  /// Clamp a point into the region.
+  constexpr Vec2 clamp(Vec2 p) const noexcept {
+    if (p.x < 0.0) p.x = 0.0;
+    if (p.x > width) p.x = width;
+    if (p.y < 0.0) p.y = 0.0;
+    if (p.y > height) p.y = height;
+    return p;
+  }
+};
+
+}  // namespace p2p::geo

@@ -1,0 +1,49 @@
+// Small-world graph metrics (paper §6.1.2, citing Watts/Strogatz via
+// [Hong 2001]).
+//
+// * clustering coefficient: per node, real_conn / possible_conn over its
+//   neighbor set, averaged over nodes with degree >= 2;
+// * characteristic path length: mean hop distance over connected pairs;
+// * small-world index: (C/C_random) / (L/L_random) with the usual
+//   Erdős–Rényi baselines C_rand ≈ k/n, L_rand ≈ ln n / ln k.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+
+namespace p2p::graph {
+
+struct SmallWorldMetrics {
+  double clustering = 0.0;       // average clustering coefficient
+  double path_length = 0.0;      // characteristic path length (connected pairs)
+  double mean_degree = 0.0;
+  std::size_t vertices = 0;
+  std::size_t edges = 0;
+  std::size_t components = 0;
+  std::size_t largest_component = 0;
+  double connected_pair_fraction = 0.0;  // reachable pairs / all pairs
+  double smallworld_index = 0.0;         // sigma; 0 when undefined
+};
+
+/// Clustering coefficient of one vertex (0 when degree < 2).
+double local_clustering(const Graph& g, Vertex v);
+
+/// Average clustering coefficient over vertices with degree >= 2
+/// (vertices that cannot close a triangle are excluded, matching the
+/// paper's real_conn/possible_conn definition).
+double clustering_coefficient(const Graph& g);
+
+/// Mean BFS distance over all ordered pairs that are connected; 0 when no
+/// pair is connected.
+double characteristic_path_length(const Graph& g);
+
+SmallWorldMetrics analyze(const Graph& g);
+
+/// Reference values for regular ring lattices and random graphs of the
+/// same (n, k) — the paper quotes L_regular ≈ n/2k and
+/// L_random ≈ log n / log k.
+double regular_lattice_path_length(std::size_t n, std::size_t k);
+double random_graph_path_length(std::size_t n, std::size_t k);
+
+}  // namespace p2p::graph

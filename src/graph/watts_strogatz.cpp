@@ -1,0 +1,46 @@
+#include "graph/watts_strogatz.hpp"
+
+#include "util/assert.hpp"
+
+namespace p2p::graph {
+
+Graph ring_lattice(std::size_t n, std::size_t k) {
+  P2P_ASSERT_MSG(k % 2 == 0, "ring lattice needs even k");
+  P2P_ASSERT(k < n);
+  Graph g(n);
+  for (Vertex v = 0; v < n; ++v) {
+    for (std::size_t d = 1; d <= k / 2; ++d) {
+      g.add_edge(v, static_cast<Vertex>((v + d) % n));
+    }
+  }
+  return g;
+}
+
+Graph watts_strogatz(std::size_t n, std::size_t k, double beta,
+                     sim::RngStream& rng) {
+  P2P_ASSERT(beta >= 0.0 && beta <= 1.0);
+  // Build edge list of the lattice, rewire into a fresh graph.
+  Graph g(n);
+  for (Vertex v = 0; v < n; ++v) {
+    for (std::size_t d = 1; d <= k / 2; ++d) {
+      const auto w = static_cast<Vertex>((v + d) % n);
+      Vertex target = w;
+      if (rng.chance(beta)) {
+        // Rewire: pick a random endpoint, retrying on self-loops and
+        // existing edges (bounded retries keep degenerate cases safe).
+        for (int attempt = 0; attempt < 32; ++attempt) {
+          const auto candidate = static_cast<Vertex>(
+              rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+          if (candidate != v && !g.has_edge(v, candidate)) {
+            target = candidate;
+            break;
+          }
+        }
+      }
+      g.add_edge(v, target);
+    }
+  }
+  return g;
+}
+
+}  // namespace p2p::graph

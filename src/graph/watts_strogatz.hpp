@@ -1,0 +1,26 @@
+// Watts-Strogatz small-world graph generator (§6.1.2 of the paper quotes
+// the model's regular/random path-length formulas; the Random algorithm
+// tries to reach this regime through its long links).
+//
+// Used by the theoretical study the paper lists as future work: generate
+// ring lattices, rewire a fraction beta of edges, and track how the
+// clustering coefficient and characteristic path length move between the
+// regular (beta=0) and random (beta=1) extremes.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "sim/rng.hpp"
+
+namespace p2p::graph {
+
+/// Ring lattice: n vertices each connected to the k nearest neighbors
+/// (k even; k/2 on each side).
+Graph ring_lattice(std::size_t n, std::size_t k);
+
+/// Watts-Strogatz: start from ring_lattice(n, k) and rewire each edge's
+/// far endpoint with probability beta to a uniform random vertex
+/// (avoiding self-loops and duplicate edges).
+Graph watts_strogatz(std::size_t n, std::size_t k, double beta,
+                     sim::RngStream& rng);
+
+}  // namespace p2p::graph

@@ -1,0 +1,33 @@
+// Mobility model interface.
+//
+// The kernel advances time monotonically, so models only have to answer
+// position queries for non-decreasing times; they may advance internal
+// state on each call (lazily generating movement legs).
+#pragma once
+
+#include "geo/vec2.hpp"
+#include "sim/time.hpp"
+
+namespace p2p::mobility {
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  /// Position at simulation time `t`. Callers guarantee `t` is
+  /// non-decreasing across calls on a given model instance.
+  virtual geo::Vec2 position_at(sim::SimTime t) = 0;
+};
+
+/// A node that never moves.
+class StaticModel final : public MobilityModel {
+ public:
+  explicit StaticModel(geo::Vec2 pos) noexcept : pos_(pos) {}
+  geo::Vec2 position_at(sim::SimTime /*t*/) override { return pos_; }
+  void set_position(geo::Vec2 pos) noexcept { pos_ = pos; }
+
+ private:
+  geo::Vec2 pos_;
+};
+
+}  // namespace p2p::mobility

@@ -1,0 +1,48 @@
+// Scripted mobility: play back an explicit waypoint schedule.
+//
+// Used by tests (deterministic link formation/breakage) and to import
+// ns-2 `setdest`-style movement files so scenarios can be replayed against
+// the original toolchain.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/vec2.hpp"
+#include "mobility/model.hpp"
+
+namespace p2p::mobility {
+
+/// One scheduled movement: at `start_time`, begin moving to `target` at
+/// `speed` m/s (speed 0 = teleport instantly).
+struct TraceStep {
+  sim::SimTime start_time = 0.0;
+  geo::Vec2 target;
+  double speed = 0.0;
+};
+
+class TraceModel final : public MobilityModel {
+ public:
+  /// `initial` is the position before the first step. Steps must be sorted
+  /// by start_time; a step preempts any unfinished previous movement.
+  TraceModel(geo::Vec2 initial, std::vector<TraceStep> steps);
+
+  geo::Vec2 position_at(sim::SimTime t) override;
+
+  /// Parse a simple text format, one step per line:
+  ///   <start_time> <x> <y> <speed>
+  /// Blank lines and '#' comments are skipped. Returns false on syntax
+  /// errors, leaving `error` with a description.
+  static bool parse(std::string_view text, std::vector<TraceStep>* steps,
+                    std::string* error);
+
+ private:
+  /// Position at time t assuming motion began at (t0, from) toward step s.
+  static geo::Vec2 interpolate(const TraceStep& s, geo::Vec2 from, sim::SimTime t);
+
+  geo::Vec2 initial_;
+  std::vector<TraceStep> steps_;
+};
+
+}  // namespace p2p::mobility

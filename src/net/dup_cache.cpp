@@ -1,0 +1,24 @@
+#include "net/dup_cache.hpp"
+
+namespace p2p::net {
+
+void DupCache::expire(sim::SimTime now) {
+  while (!fifo_.empty() && fifo_.front().first + ttl_ <= now) {
+    seen_.erase(fifo_.front().second);
+    fifo_.pop_front();
+  }
+}
+
+bool DupCache::insert(NodeId origin, std::uint64_t id, sim::SimTime now) {
+  expire(now);
+  const Key k = key(origin, id);
+  if (!seen_.insert(k).second) return false;
+  fifo_.emplace_back(now, k);
+  return true;
+}
+
+bool DupCache::contains(NodeId origin, std::uint64_t id) const {
+  return seen_.find(key(origin, id)) != seen_.end();
+}
+
+}  // namespace p2p::net

@@ -1,0 +1,46 @@
+// Duplicate-suppression cache for flooded messages.
+//
+// This is the "controlled broadcast" mechanism the paper added to ns-2's
+// AODV: "each node has a cache to keep track of the broadcast messages
+// received. This mechanism avoids forwarding the same message several
+// times." Keyed by (origin, broadcast id); entries expire so the cache
+// stays bounded on long runs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+#include "net/types.hpp"
+#include "sim/time.hpp"
+
+namespace p2p::net {
+
+class DupCache {
+ public:
+  /// `ttl` — how long a (origin,id) pair is remembered. Must exceed the
+  /// maximum time a flooded message can still be in flight (hops * per-hop
+  /// delay); the default is generous for the paper's 6-hop floods.
+  explicit DupCache(sim::SimTime ttl = 30.0) noexcept : ttl_(ttl) {}
+
+  /// Record (origin, id) at time `now`. Returns true if this is the first
+  /// sighting (caller should process/forward), false if it is a duplicate.
+  bool insert(NodeId origin, std::uint64_t id, sim::SimTime now);
+
+  bool contains(NodeId origin, std::uint64_t id) const;
+
+  std::size_t size() const noexcept { return seen_.size(); }
+
+ private:
+  using Key = std::uint64_t;
+  static Key key(NodeId origin, std::uint64_t id) noexcept {
+    return (static_cast<std::uint64_t>(origin) << 40) ^ id;
+  }
+  void expire(sim::SimTime now);
+
+  sim::SimTime ttl_;
+  std::unordered_set<Key> seen_;
+  std::deque<std::pair<sim::SimTime, Key>> fifo_;  // insertion-ordered for expiry
+};
+
+}  // namespace p2p::net

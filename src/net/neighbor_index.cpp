@@ -1,0 +1,79 @@
+#include "net/neighbor_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace p2p::net {
+
+NeighborIndex::NeighborIndex(geo::Region region, double range,
+                             double tolerance_s, double max_speed)
+    : region_(region),
+      range_(range),
+      tolerance_(tolerance_s),
+      drift_margin_(2.0 * tolerance_s * max_speed) {
+  P2P_ASSERT(range > 0.0);
+  P2P_ASSERT(region.width > 0.0 && region.height > 0.0);
+  // Cells must be at least (range + drift margin) wide so the 3x3 block
+  // around a query point is guaranteed to contain every true neighbor even
+  // with stale indexed positions.
+  cell_size_ = range + drift_margin_;
+  cols_ = std::max<std::size_t>(1, static_cast<std::size_t>(region.width / cell_size_));
+  rows_ = std::max<std::size_t>(1, static_cast<std::size_t>(region.height / cell_size_));
+  cells_.resize(cols_ * rows_);
+}
+
+std::size_t NeighborIndex::cell_of(geo::Vec2 p) const noexcept {
+  const geo::Vec2 q = region_.clamp(p);
+  auto cx = static_cast<std::size_t>(q.x / cell_size_);
+  auto cy = static_cast<std::size_t>(q.y / cell_size_);
+  if (cx >= cols_) cx = cols_ - 1;
+  if (cy >= rows_) cy = rows_ - 1;
+  return cy * cols_ + cx;
+}
+
+void NeighborIndex::refresh(sim::SimTime now,
+                            const std::vector<geo::Vec2>& positions) {
+  if (ever_built_ && now - built_at_ < tolerance_ &&
+      positions.size() == indexed_positions_.size()) {
+    return;
+  }
+  for (auto& cell : cells_) cell.clear();
+  indexed_positions_ = positions;
+  for (NodeId i = 0; i < positions.size(); ++i) {
+    cells_[cell_of(positions[i])].push_back(i);
+  }
+  built_at_ = now;
+  ever_built_ = true;
+}
+
+void NeighborIndex::candidates_near(geo::Vec2 center,
+                                    std::vector<NodeId>* out) const {
+  P2P_ASSERT(out != nullptr);
+  P2P_ASSERT_MSG(ever_built_, "candidates_near before first refresh");
+  out->clear();
+  const geo::Vec2 q = region_.clamp(center);
+  const auto cx = static_cast<std::ptrdiff_t>(q.x / cell_size_);
+  const auto cy = static_cast<std::ptrdiff_t>(q.y / cell_size_);
+  const double reach = range_ + drift_margin_;
+  const double reach2 = reach * reach;
+  for (std::ptrdiff_t dy = -1; dy <= 1; ++dy) {
+    for (std::ptrdiff_t dx = -1; dx <= 1; ++dx) {
+      const std::ptrdiff_t x = cx + dx;
+      const std::ptrdiff_t y = cy + dy;
+      if (x < 0 || y < 0 || x >= static_cast<std::ptrdiff_t>(cols_) ||
+          y >= static_cast<std::ptrdiff_t>(rows_)) {
+        continue;
+      }
+      for (const NodeId id :
+           cells_[static_cast<std::size_t>(y) * cols_ + static_cast<std::size_t>(x)]) {
+        if (geo::distance2(indexed_positions_[id], center) <= reach2) {
+          out->push_back(id);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace p2p::net

@@ -1,0 +1,55 @@
+// Uniform-grid spatial index over node positions.
+//
+// Cell size equals the radio range, so all neighbors of a point live in
+// the 3x3 cell block around it — candidate lookup is O(k). The index is
+// rebuilt lazily when it is older than `tolerance`; with the paper's
+// 1 m/s walking speed and the default 0.25 s tolerance, stale positions
+// drift well under a metre against a 10 m range, and the final in-range
+// decision always uses fresh positions (the grid only prunes candidates —
+// see kDriftMargin for the guarantee that pruning never loses a true
+// neighbor).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/vec2.hpp"
+#include "net/types.hpp"
+#include "sim/time.hpp"
+
+namespace p2p::net {
+
+class NeighborIndex {
+ public:
+  NeighborIndex(geo::Region region, double range, double tolerance_s,
+                double max_speed);
+
+  /// Rebuild if older than the tolerance. `positions[i]` is node i's
+  /// position at time `now`.
+  void refresh(sim::SimTime now, const std::vector<geo::Vec2>& positions);
+
+  /// Nodes whose indexed position is within range + drift margin of
+  /// `center`. Candidates only — callers must do the exact check against
+  /// fresh positions. `out` is cleared first.
+  void candidates_near(geo::Vec2 center, std::vector<NodeId>* out) const;
+
+  sim::SimTime built_at() const noexcept { return built_at_; }
+  bool ever_built() const noexcept { return ever_built_; }
+
+ private:
+  std::size_t cell_of(geo::Vec2 p) const noexcept;
+
+  geo::Region region_;
+  double range_;
+  double tolerance_;
+  double drift_margin_;  // 2 * tolerance * max_speed: both nodes can move
+  double cell_size_;
+  std::size_t cols_ = 0;
+  std::size_t rows_ = 0;
+  std::vector<std::vector<NodeId>> cells_;
+  std::vector<geo::Vec2> indexed_positions_;
+  sim::SimTime built_at_ = -1.0;
+  bool ever_built_ = false;
+};
+
+}  // namespace p2p::net

@@ -1,0 +1,227 @@
+#include "net/network.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace p2p::net {
+
+Network::Network(sim::Simulator& simulator, const NetworkParams& params,
+                 sim::RngStream mac_rng)
+    : sim_(&simulator),
+      params_(params),
+      mac_rng_(std::move(mac_rng)),
+      index_(params.region, params.range, params.index_tolerance_s,
+             params.max_speed_hint) {}
+
+NodeId Network::add_node(std::unique_ptr<mobility::MobilityModel> mobility,
+                         const EnergyParams& energy) {
+  P2P_ASSERT(mobility != nullptr);
+  NodeState state;
+  state.mobility = std::move(mobility);
+  state.energy = EnergyModel(energy);
+  nodes_.push_back(std::move(state));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Network::attach_listener(NodeId id, LinkListener* listener) {
+  P2P_ASSERT(id < nodes_.size());
+  P2P_ASSERT(listener != nullptr);
+  nodes_[id].listeners.push_back(listener);
+}
+
+geo::Vec2 Network::position_of(NodeId id) {
+  P2P_ASSERT(id < nodes_.size());
+  return nodes_[id].mobility->position_at(sim_->now());
+}
+
+bool Network::alive(NodeId id) const {
+  P2P_ASSERT(id < nodes_.size());
+  return !nodes_[id].failed && nodes_[id].energy.alive();
+}
+
+void Network::set_failed(NodeId id, bool failed) {
+  P2P_ASSERT(id < nodes_.size());
+  nodes_[id].failed = failed;
+}
+
+EnergyModel& Network::energy(NodeId id) {
+  P2P_ASSERT(id < nodes_.size());
+  return nodes_[id].energy;
+}
+
+const EnergyModel& Network::energy(NodeId id) const {
+  P2P_ASSERT(id < nodes_.size());
+  return nodes_[id].energy;
+}
+
+bool Network::in_range(NodeId a, NodeId b) {
+  P2P_ASSERT(a < nodes_.size() && b < nodes_.size());
+  if (a == b) return true;
+  const double r2 = params_.range * params_.range;
+  return geo::distance2(position_of(a), position_of(b)) <= r2;
+}
+
+void Network::refresh_index() {
+  // NeighborIndex decides internally whether it is stale; we pay the O(n)
+  // position sampling only when it actually rebuilds, so probe first.
+  if (index_.ever_built() &&
+      sim_->now() - index_.built_at() < params_.index_tolerance_s &&
+      scratch_positions_.size() == nodes_.size()) {
+    return;
+  }
+  scratch_positions_.resize(nodes_.size());
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    scratch_positions_[i] = nodes_[i].mobility->position_at(sim_->now());
+  }
+  index_.refresh(sim_->now(), scratch_positions_);
+}
+
+void Network::receivers_of(NodeId sender, std::vector<NodeId>* out) {
+  refresh_index();
+  index_.candidates_near(position_of(sender), &scratch_candidates_);
+  out->clear();
+  const double r2 = params_.range * params_.range;
+  const geo::Vec2 sp = position_of(sender);
+  for (const NodeId cand : scratch_candidates_) {
+    if (cand == sender || !alive(cand)) continue;
+    if (geo::distance2(sp, nodes_[cand].mobility->position_at(sim_->now())) <= r2) {
+      out->push_back(cand);
+    }
+  }
+}
+
+void Network::neighbors_of(NodeId id, std::vector<NodeId>* out) {
+  P2P_ASSERT(id < nodes_.size());
+  P2P_ASSERT(out != nullptr);
+  receivers_of(id, out);
+}
+
+std::vector<std::vector<NodeId>> Network::adjacency_snapshot() {
+  std::vector<std::vector<NodeId>> adj(nodes_.size());
+  refresh_index();
+  // Force an exact snapshot: sample every position fresh.
+  scratch_positions_.resize(nodes_.size());
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    scratch_positions_[i] = nodes_[i].mobility->position_at(sim_->now());
+  }
+  const double r2 = params_.range * params_.range;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (!alive(i)) continue;
+    index_.candidates_near(scratch_positions_[i], &scratch_candidates_);
+    for (const NodeId j : scratch_candidates_) {
+      if (j <= i || !alive(j)) continue;
+      if (geo::distance2(scratch_positions_[i], scratch_positions_[j]) <= r2) {
+        adj[i].push_back(j);
+        adj[j].push_back(i);
+      }
+    }
+  }
+  return adj;
+}
+
+sim::SimTime Network::schedule_tx(NodeState& node, double duration) {
+  const sim::SimTime defer = mac_rng_.uniform(0.0, params_.mac.jitter_max_s);
+  sim::SimTime start = sim_->now() + defer;
+  if (start < node.next_free_tx) start = node.next_free_tx;
+  node.next_free_tx = start + duration;
+  return start;
+}
+
+void Network::deliver(NodeId receiver, Frame frame) {
+  NodeState& node = nodes_[receiver];
+  if (!alive(receiver)) {
+    if (observer_ != nullptr) {
+      observer_->on_drop(sim_->now(), frame.sender, receiver, frame.size_bytes);
+    }
+    return;
+  }
+  node.energy.consume_rx(frame.size_bytes);
+  ++frames_rx_;
+  if (observer_ != nullptr) {
+    observer_->on_deliver(sim_->now(), receiver, frame.sender, frame.size_bytes);
+  }
+  for (LinkListener* listener : node.listeners) listener->on_frame(frame);
+}
+
+void Network::broadcast(NodeId sender, FramePayloadPtr payload,
+                        std::size_t bytes) {
+  P2P_ASSERT(sender < nodes_.size());
+  if (!alive(sender)) return;
+  NodeState& node = nodes_[sender];
+  node.energy.consume_tx(bytes);
+  ++frames_tx_;
+  if (observer_ != nullptr) {
+    observer_->on_transmit(sim_->now(), sender, kBroadcast, bytes);
+  }
+
+  std::vector<NodeId> receivers;
+  receivers_of(sender, &receivers);
+  const double duration = tx_duration(params_.mac, bytes);
+  const sim::SimTime start = schedule_tx(node, duration);
+  const sim::SimTime arrival = start + duration + params_.mac.propagation_s;
+
+  Frame frame{sender, kBroadcast, bytes, std::move(payload)};
+  const geo::Vec2 sender_pos = position_of(sender);
+  for (const NodeId r : receivers) {
+    bool lost = params_.mac.loss_probability > 0.0 &&
+                mac_rng_.chance(params_.mac.loss_probability);
+    if (!lost && params_.mac.gray_zone_fraction > 0.0) {
+      const double dist = geo::distance(sender_pos, position_of(r));
+      lost = !mac_rng_.chance(
+          gray_zone_delivery_probability(params_.mac, dist, params_.range));
+    }
+    if (lost) {
+      ++frames_lost_;
+      if (observer_ != nullptr) {
+        observer_->on_drop(sim_->now(), sender, r, bytes);
+      }
+      continue;
+    }
+    sim_->at(arrival, [this, r, frame] { deliver(r, frame); });
+  }
+}
+
+void Network::unicast(NodeId sender, NodeId neighbor, FramePayloadPtr payload,
+                      std::size_t bytes) {
+  P2P_ASSERT(sender < nodes_.size());
+  P2P_ASSERT(neighbor < nodes_.size());
+  if (!alive(sender)) return;
+  NodeState& node = nodes_[sender];
+  node.energy.consume_tx(bytes);
+  ++frames_tx_;
+  if (observer_ != nullptr) {
+    observer_->on_transmit(sim_->now(), sender, neighbor, bytes);
+  }
+
+  if (!alive(neighbor) || !in_range(sender, neighbor)) {
+    ++frames_lost_;
+    if (observer_ != nullptr) {
+      observer_->on_drop(sim_->now(), sender, neighbor, bytes);
+    }
+    return;
+  }
+  bool lost = params_.mac.loss_probability > 0.0 &&
+              mac_rng_.chance(params_.mac.loss_probability);
+  if (!lost && params_.mac.gray_zone_fraction > 0.0) {
+    const double dist = geo::distance(position_of(sender), position_of(neighbor));
+    lost = !mac_rng_.chance(
+        gray_zone_delivery_probability(params_.mac, dist, params_.range));
+  }
+  if (lost) {
+    ++frames_lost_;
+    if (observer_ != nullptr) {
+      observer_->on_drop(sim_->now(), sender, neighbor, bytes);
+    }
+    return;
+  }
+  const double duration = tx_duration(params_.mac, bytes);
+  const sim::SimTime start = schedule_tx(node, duration);
+  const sim::SimTime arrival = start + duration + params_.mac.propagation_s;
+  Frame frame{sender, neighbor, bytes, std::move(payload)};
+  sim_->at(arrival, [this, neighbor, frame = std::move(frame)] {
+    deliver(neighbor, frame);
+  });
+}
+
+}  // namespace p2p::net

@@ -1,0 +1,122 @@
+// The simulated wireless world: nodes, channel, and frame delivery.
+//
+// Communication is unit-disk: a frame transmitted by node A reaches every
+// live node within `range` metres of A (or just the addressed neighbor for
+// link-layer unicast). Delivery is delayed by airtime + propagation +
+// random defer jitter (see mac.hpp), and a node's own transmissions
+// serialize, approximating a half-duplex radio.
+//
+// Network is strictly below routing: it never inspects payloads, it only
+// moves FramePayload blobs between nodes and charges energy.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "geo/vec2.hpp"
+#include "mobility/model.hpp"
+#include "net/energy.hpp"
+#include "net/mac.hpp"
+#include "net/neighbor_index.hpp"
+#include "net/types.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace p2p::net {
+
+struct NetworkParams {
+  geo::Region region{100.0, 100.0};
+  double range = 10.0;             // paper Table 2: 10 m transmission range
+  MacParams mac;
+  double index_tolerance_s = 0.25; // spatial-index staleness bound
+  double max_speed_hint = 1.0;     // upper bound on any node's speed (m/s)
+};
+
+class Network {
+ public:
+  Network(sim::Simulator& simulator, const NetworkParams& params,
+          sim::RngStream mac_rng);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Add a node; ids are dense and assigned in call order.
+  NodeId add_node(std::unique_ptr<mobility::MobilityModel> mobility,
+                  const EnergyParams& energy = {});
+
+  std::size_t size() const noexcept { return nodes_.size(); }
+
+  /// Attach a frame listener; every frame the node receives is fanned out
+  /// to all listeners in attach order. Listener must outlive the Network.
+  void attach_listener(NodeId id, LinkListener* listener);
+
+  /// Transmit to all in-range neighbors. No-op if the sender is down.
+  void broadcast(NodeId sender, FramePayloadPtr payload, std::size_t bytes);
+
+  /// Transmit to one neighbor; silently dropped if out of range at send
+  /// time (the sender learns nothing — real radios don't either; reliability
+  /// is the routing layer's problem).
+  void unicast(NodeId sender, NodeId neighbor, FramePayloadPtr payload,
+               std::size_t bytes);
+
+  geo::Vec2 position_of(NodeId id);
+  bool in_range(NodeId a, NodeId b);
+  /// Live neighbors within range of `id` (exact, fresh positions).
+  void neighbors_of(NodeId id, std::vector<NodeId>* out);
+
+  /// Physical connectivity graph over live nodes at the current time.
+  /// adjacency[i] lists i's neighbors; down nodes get empty lists.
+  std::vector<std::vector<NodeId>> adjacency_snapshot();
+
+  EnergyModel& energy(NodeId id);
+  const EnergyModel& energy(NodeId id) const;
+
+  /// Down = battery empty or administratively failed.
+  bool alive(NodeId id) const;
+  /// Administrative kill/revive (churn experiments).
+  void set_failed(NodeId id, bool failed);
+
+  sim::Simulator& simulator() noexcept { return *sim_; }
+  const NetworkParams& params() const noexcept { return params_; }
+
+  /// Attach a link-layer event observer (packet tracing); nullptr detaches.
+  void set_observer(NetObserver* observer) noexcept { observer_ = observer; }
+
+  // Telemetry.
+  std::uint64_t frames_transmitted() const noexcept { return frames_tx_; }
+  std::uint64_t frames_delivered() const noexcept { return frames_rx_; }
+  std::uint64_t frames_lost() const noexcept { return frames_lost_; }
+
+ private:
+  struct NodeState {
+    std::unique_ptr<mobility::MobilityModel> mobility;
+    EnergyModel energy;
+    std::vector<LinkListener*> listeners;
+    bool failed = false;
+    sim::SimTime next_free_tx = 0.0;
+  };
+
+  /// Refresh the spatial index (and the position scratch buffer).
+  void refresh_index();
+  /// Exact in-range receiver set for a transmission from `sender`.
+  void receivers_of(NodeId sender, std::vector<NodeId>* out);
+  void deliver(NodeId receiver, Frame frame);
+  /// Start time of the next transmission by `sender` (jitter + half-duplex
+  /// serialization); advances the node's busy horizon.
+  sim::SimTime schedule_tx(NodeState& node, double duration);
+
+  sim::Simulator* sim_;
+  NetworkParams params_;
+  sim::RngStream mac_rng_;
+  std::vector<NodeState> nodes_;
+  NeighborIndex index_;
+  std::vector<geo::Vec2> scratch_positions_;
+  std::vector<NodeId> scratch_candidates_;
+
+  NetObserver* observer_ = nullptr;
+  std::uint64_t frames_tx_ = 0;
+  std::uint64_t frames_rx_ = 0;
+  std::uint64_t frames_lost_ = 0;
+};
+
+}  // namespace p2p::net

@@ -1,0 +1,68 @@
+// Shared link-layer vocabulary.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+namespace p2p::net {
+
+/// Node address. Dense 0..n-1 within one simulated world.
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kBroadcast = std::numeric_limits<NodeId>::max();
+inline constexpr NodeId kInvalidNode = kBroadcast - 1;
+
+/// Base class of everything a radio frame can carry. Routing-layer
+/// messages derive from it; the net layer treats payloads as opaque,
+/// immutable, shareable blobs (one allocation per logical message even
+/// when flooded to dozens of receivers).
+struct FramePayload {
+  virtual ~FramePayload() = default;
+};
+using FramePayloadPtr = std::shared_ptr<const FramePayload>;
+
+/// Base class of application-level payloads carried *inside* routing
+/// messages (the P2P layer's Ping/Query/... derive from this).
+struct AppPayload {
+  virtual ~AppPayload() = default;
+  /// Nominal serialized size, for bandwidth/energy accounting.
+  virtual std::size_t size_bytes() const noexcept = 0;
+};
+using AppPayloadPtr = std::shared_ptr<const AppPayload>;
+
+/// One received radio frame, as seen by a node's listeners.
+struct Frame {
+  NodeId sender = kInvalidNode;   // transmitting neighbor (last hop)
+  NodeId link_dst = kBroadcast;   // kBroadcast or the addressed neighbor
+  std::size_t size_bytes = 0;
+  FramePayloadPtr payload;
+};
+
+/// Per-node frame sink. A node fans each frame out to all attached
+/// listeners (AODV agent, flood service, ...); listeners ignore payload
+/// types they don't own.
+class LinkListener {
+ public:
+  virtual ~LinkListener() = default;
+  virtual void on_frame(const Frame& frame) = 0;
+};
+
+/// Optional observer of link-layer events (packet tracing, live
+/// statistics). Attached via Network::set_observer; when absent the
+/// network pays nothing.
+class NetObserver {
+ public:
+  virtual ~NetObserver() = default;
+  /// `node` transmitted a frame addressed to `dst` (kBroadcast allowed).
+  virtual void on_transmit(double time, NodeId node, NodeId dst,
+                           std::size_t bytes) = 0;
+  /// `node` received a frame sent by `sender`.
+  virtual void on_deliver(double time, NodeId node, NodeId sender,
+                          std::size_t bytes) = 0;
+  /// A frame from `sender` toward `dst` was lost (range / channel / dead).
+  virtual void on_drop(double time, NodeId sender, NodeId dst,
+                       std::size_t bytes) = 0;
+};
+
+}  // namespace p2p::net

@@ -1,0 +1,61 @@
+#include "routing/flood.hpp"
+
+#include <memory>
+
+#include "util/assert.hpp"
+
+namespace p2p::routing {
+
+FloodService::FloodService(sim::Simulator& simulator, net::Network& network,
+                           NodeId self, RoutingService* routing,
+                           sim::SimTime dedup_ttl)
+    : sim_(&simulator),
+      net_(&network),
+      self_(self),
+      routing_(routing),
+      seen_(dedup_ttl) {
+  net_->attach_listener(self_, this);
+}
+
+void FloodService::flood(AppPayloadPtr app, int max_hops) {
+  P2P_ASSERT(max_hops >= 1);
+  FloodMsg msg;
+  msg.origin = self_;
+  msg.flood_id = next_flood_id_++;
+  msg.hops_remaining = static_cast<std::uint8_t>(max_hops - 1);
+  msg.hops_traveled = 0;
+  msg.app = std::move(app);
+  seen_.insert(self_, msg.flood_id, sim_->now());
+  ++stats_.originated;
+  const std::size_t bytes = flood_bytes(msg);
+  net_->broadcast(self_, std::make_shared<const FloodMsg>(std::move(msg)), bytes);
+}
+
+void FloodService::on_frame(const net::Frame& frame) {
+  const auto* msg = dynamic_cast<const FloodMsg*>(frame.payload.get());
+  if (msg == nullptr) return;
+  if (msg->origin == self_) return;  // own flood echoed back
+  if (!seen_.insert(msg->origin, msg->flood_id, sim_->now())) {
+    ++stats_.duplicates;
+    return;
+  }
+  const int hops = int{msg->hops_traveled} + 1;
+  if (routing_ != nullptr) {
+    routing_->learn_route(msg->origin, frame.sender,
+                          static_cast<std::uint8_t>(hops));
+  }
+  ++stats_.delivered;
+  if (on_receive_) on_receive_(msg->origin, msg->app, hops);
+
+  if (msg->hops_remaining > 0) {
+    FloodMsg fwd = *msg;
+    fwd.hops_remaining = static_cast<std::uint8_t>(msg->hops_remaining - 1);
+    fwd.hops_traveled = static_cast<std::uint8_t>(msg->hops_traveled + 1);
+    ++stats_.forwarded;
+    const std::size_t bytes = flood_bytes(fwd);
+    net_->broadcast(self_, std::make_shared<const FloodMsg>(std::move(fwd)),
+                    bytes);
+  }
+}
+
+}  // namespace p2p::routing

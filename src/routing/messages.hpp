@@ -1,0 +1,78 @@
+// AODV control messages and data encapsulation (RFC 3561 message set).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/types.hpp"
+#include "sim/time.hpp"
+
+namespace p2p::routing {
+
+using net::AppPayloadPtr;
+using net::NodeId;
+
+/// Route request — flooded with expanding-ring TTL.
+struct Rreq final : net::FramePayload {
+  NodeId origin = net::kInvalidNode;
+  std::uint32_t origin_seq = 0;
+  std::uint64_t bcast_id = 0;
+  NodeId dst = net::kInvalidNode;
+  std::uint32_t dst_seq = 0;
+  bool dst_seq_valid = false;
+  std::uint8_t hop_count = 0;  // hops from origin to the transmitter
+  std::uint8_t ttl = 0;        // remaining rebroadcasts
+};
+inline constexpr std::size_t kRreqBytes = 24;
+
+/// Route reply — unicast back along the reverse path.
+struct Rrep final : net::FramePayload {
+  NodeId route_dst = net::kInvalidNode;  // node the route leads to
+  std::uint32_t dst_seq = 0;
+  NodeId origin = net::kInvalidNode;     // requester the reply travels to
+  std::uint8_t hop_count = 0;            // hops from route_dst to transmitter
+  sim::SimTime lifetime = 0.0;
+};
+inline constexpr std::size_t kRrepBytes = 20;
+
+/// Route error — unicast to precursors of broken routes.
+struct Rerr final : net::FramePayload {
+  /// (destination, destination sequence number) pairs now unreachable.
+  std::vector<std::pair<NodeId, std::uint32_t>> unreachable;
+};
+inline constexpr std::size_t kRerrBaseBytes = 12;
+inline constexpr std::size_t kRerrPerDestBytes = 8;
+
+inline std::size_t rerr_bytes(const Rerr& rerr) noexcept {
+  return kRerrBaseBytes + kRerrPerDestBytes * rerr.unreachable.size();
+}
+
+/// Application data riding hop-by-hop over AODV routes.
+struct DataMsg final : net::FramePayload {
+  NodeId src = net::kInvalidNode;
+  NodeId dst = net::kInvalidNode;
+  std::uint8_t hops_traveled = 0;  // hops already traversed when transmitted
+  AppPayloadPtr app;
+};
+inline constexpr std::size_t kDataHeaderBytes = 16;
+
+inline std::size_t data_bytes(const DataMsg& data) noexcept {
+  return kDataHeaderBytes + (data.app ? data.app->size_bytes() : 0);
+}
+
+/// Hop-limited application broadcast (the paper's controlled broadcast).
+struct FloodMsg final : net::FramePayload {
+  NodeId origin = net::kInvalidNode;
+  std::uint64_t flood_id = 0;
+  std::uint8_t hops_remaining = 0;  // rebroadcast budget after this hop
+  std::uint8_t hops_traveled = 0;   // hops already traversed when transmitted
+  AppPayloadPtr app;
+};
+inline constexpr std::size_t kFloodHeaderBytes = 14;
+
+inline std::size_t flood_bytes(const FloodMsg& flood) noexcept {
+  return kFloodHeaderBytes + (flood.app ? flood.app->size_bytes() : 0);
+}
+
+}  // namespace p2p::routing

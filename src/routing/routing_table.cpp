@@ -1,0 +1,83 @@
+#include "routing/routing_table.hpp"
+
+namespace p2p::routing {
+
+Route* RoutingTable::find_active(NodeId dst, sim::SimTime now) {
+  const auto it = routes_.find(dst);
+  if (it == routes_.end()) return nullptr;
+  Route& r = it->second;
+  if (!r.valid) return nullptr;
+  if (r.expires <= now) {
+    r.valid = false;  // lifetime elapsed; sequence number is retained
+    return nullptr;
+  }
+  return &r;
+}
+
+const Route* RoutingTable::find(NodeId dst) const {
+  const auto it = routes_.find(dst);
+  return it == routes_.end() ? nullptr : &it->second;
+}
+
+bool RoutingTable::is_better(NodeId dst, std::uint32_t seq, bool seq_valid,
+                             std::uint8_t hops, sim::SimTime now) {
+  const auto it = routes_.find(dst);
+  if (it == routes_.end()) return true;
+  Route& r = it->second;
+  if (!r.valid || r.expires <= now) return true;
+  if (!r.seq_valid) return true;
+  if (!seq_valid) return false;
+  const auto newer = static_cast<std::int32_t>(seq - r.dst_seq);
+  if (newer > 0) return true;
+  if (newer < 0) return false;
+  return hops < r.hop_count;
+}
+
+Route& RoutingTable::update(NodeId dst, NodeId next_hop, std::uint8_t hops,
+                            std::uint32_t seq, bool seq_valid,
+                            sim::SimTime expires) {
+  Route& r = routes_[dst];
+  r.next_hop = next_hop;
+  r.hop_count = hops;
+  r.dst_seq = seq;
+  r.seq_valid = seq_valid;
+  r.valid = true;
+  if (expires > r.expires) r.expires = expires;
+  return r;
+}
+
+void RoutingTable::refresh(NodeId dst, sim::SimTime expires) {
+  const auto it = routes_.find(dst);
+  if (it == routes_.end() || !it->second.valid) return;
+  if (expires > it->second.expires) it->second.expires = expires;
+}
+
+bool RoutingTable::invalidate(NodeId dst) {
+  const auto it = routes_.find(dst);
+  if (it == routes_.end()) return false;
+  Route& r = it->second;
+  if (r.valid) {
+    r.valid = false;
+    ++r.dst_seq;  // RFC 3561 §6.11: increment on invalidation
+    r.seq_valid = true;
+  }
+  return true;
+}
+
+void RoutingTable::add_precursor(NodeId dst, NodeId precursor) {
+  const auto it = routes_.find(dst);
+  if (it != routes_.end()) it->second.precursors.insert(precursor);
+}
+
+std::vector<NodeId> RoutingTable::destinations_via(NodeId next_hop,
+                                                   sim::SimTime now) {
+  std::vector<NodeId> out;
+  for (auto& [dst, r] : routes_) {
+    if (r.valid && r.expires > now && r.next_hop == next_hop) {
+      out.push_back(dst);
+    }
+  }
+  return out;
+}
+
+}  // namespace p2p::routing

@@ -1,0 +1,65 @@
+// AODV routing table (RFC 3561 §2, §6.2).
+//
+// Loop freedom comes from destination sequence numbers: a route is only
+// replaced by one with a newer sequence number, or an equal sequence
+// number and strictly fewer hops.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "net/types.hpp"
+#include "sim/time.hpp"
+
+namespace p2p::routing {
+
+using net::NodeId;
+
+struct Route {
+  NodeId next_hop = net::kInvalidNode;
+  std::uint8_t hop_count = 0;
+  std::uint32_t dst_seq = 0;
+  bool seq_valid = false;
+  bool valid = false;          // invalidated routes keep their seq number
+  sim::SimTime expires = 0.0;  // lifetime for valid routes
+  std::set<NodeId> precursors; // neighbors routing through us to this dst
+};
+
+class RoutingTable {
+ public:
+  /// Valid, unexpired route or nullptr. Expired routes are invalidated
+  /// as a side effect (their sequence numbers survive).
+  Route* find_active(NodeId dst, sim::SimTime now);
+  const Route* find(NodeId dst) const;
+
+  /// Would a route advertising (seq, seq_valid, hops) replace what we have
+  /// for dst? Implements the RFC 3561 §6.2 freshness comparison.
+  bool is_better(NodeId dst, std::uint32_t seq, bool seq_valid,
+                 std::uint8_t hops, sim::SimTime now);
+
+  /// Install/overwrite the route (callers check is_better first when the
+  /// update comes from the network; unconditional for e.g. neighbor routes).
+  Route& update(NodeId dst, NodeId next_hop, std::uint8_t hops,
+                std::uint32_t seq, bool seq_valid, sim::SimTime expires);
+
+  /// Extend the lifetime of an active route (route used for forwarding).
+  void refresh(NodeId dst, sim::SimTime expires);
+
+  /// Mark the route invalid and bump its sequence number (RFC 3561 §6.11).
+  /// Returns false if there was no route entry at all.
+  bool invalidate(NodeId dst);
+
+  void add_precursor(NodeId dst, NodeId precursor);
+
+  /// Destinations whose active route uses `next_hop` (link-break handling).
+  std::vector<NodeId> destinations_via(NodeId next_hop, sim::SimTime now);
+
+  std::size_t size() const noexcept { return routes_.size(); }
+
+ private:
+  std::unordered_map<NodeId, Route> routes_;
+};
+
+}  // namespace p2p::routing

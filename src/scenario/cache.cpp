@@ -1,0 +1,249 @@
+#include "scenario/cache.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "sim/rng.hpp"  // fnv1a
+
+namespace p2p::scenario {
+
+namespace {
+
+void put(std::ostream& os, const char* key, double v) {
+  os << key << '=' << v << '\n';
+}
+void put(std::ostream& os, const char* key, std::uint64_t v) {
+  os << key << '=' << v << '\n';
+}
+
+void write_stat(std::ostream& os, const stats::RunningStat& s) {
+  os << s.count() << ' ' << s.mean() << ' ' << s.variance() << ' ' << s.min()
+     << ' ' << s.max();
+}
+
+bool read_stat(std::istream& is, stats::RunningStat* s) {
+  std::uint64_t n = 0;
+  double mean = 0.0, var = 0.0, lo = 0.0, hi = 0.0;
+  if (!(is >> n >> mean >> var >> lo >> hi)) return false;
+  *s = stats::RunningStat::restore(n, mean, var, lo, hi);
+  return true;
+}
+
+void write_curve(std::ostream& os, const char* name,
+                 const stats::SortedCurve& curve) {
+  os << "curve " << name << ' ' << curve.runs() << ' ' << curve.points()
+     << '\n';
+  for (const auto& s : curve.positions()) {
+    write_stat(os, s);
+    os << '\n';
+  }
+}
+
+bool read_curve(std::istream& is, const std::string& expect_name,
+                stats::SortedCurve* curve) {
+  std::string tag, name;
+  std::size_t runs = 0, points = 0;
+  if (!(is >> tag >> name >> runs >> points)) return false;
+  if (tag != "curve" || name != expect_name) return false;
+  std::vector<stats::RunningStat> positions(points);
+  for (auto& s : positions) {
+    if (!read_stat(is, &s)) return false;
+  }
+  *curve = stats::SortedCurve::restore(std::move(positions), runs);
+  return true;
+}
+
+}  // namespace
+
+std::string canonical_parameters(const Parameters& p, std::size_t num_seeds) {
+  std::ostringstream os;
+  os.precision(17);
+  // Bump this tag whenever a code change alters simulation behavior; it
+  // invalidates every cached experiment.
+  os << "code-v5\n";
+  put(os, "area_width", p.area_width);
+  put(os, "area_height", p.area_height);
+  put(os, "radio_range", p.radio_range);
+  put(os, "num_nodes", static_cast<std::uint64_t>(p.num_nodes));
+  put(os, "p2p_fraction", p.p2p_fraction);
+  put(os, "duration_s", p.duration_s);
+  put(os, "seed", p.seed);
+  put(os, "mobile", static_cast<std::uint64_t>(p.mobile));
+  put(os, "mobility_kind", static_cast<std::uint64_t>(p.mobility_kind));
+  put(os, "max_speed", p.max_speed);
+  put(os, "min_speed", p.min_speed);
+  put(os, "max_pause", p.max_pause);
+  put(os, "num_files", static_cast<std::uint64_t>(p.num_files));
+  put(os, "max_frequency", p.max_frequency);
+  put(os, "algorithm", static_cast<std::uint64_t>(p.algorithm));
+  // Algorithm-scoped behavior revisions: invalidate only the affected
+  // algorithm's cached experiments.
+  if (p.algorithm == core::AlgorithmKind::kRandom) {
+    put(os, "random_code_rev", std::uint64_t{2});  // rev 2: capacity check in random_needed
+  }
+  put(os, "maxnconn", static_cast<std::uint64_t>(p.p2p.maxnconn));
+  put(os, "nhops_initial", static_cast<std::uint64_t>(p.p2p.nhops_initial));
+  put(os, "maxnhops", static_cast<std::uint64_t>(p.p2p.maxnhops));
+  put(os, "nhops_basic", static_cast<std::uint64_t>(p.p2p.nhops_basic));
+  put(os, "maxdist", static_cast<std::uint64_t>(p.p2p.maxdist));
+  put(os, "maxnslaves", static_cast<std::uint64_t>(p.p2p.maxnslaves));
+  put(os, "query_ttl", static_cast<std::uint64_t>(p.p2p.query_ttl));
+  put(os, "timer_initial", p.p2p.timer_initial);
+  put(os, "maxtimer", p.p2p.maxtimer);
+  put(os, "maxtimer_master", p.p2p.maxtimer_master);
+  put(os, "ping_interval", p.p2p.ping_interval);
+  put(os, "pong_timeout", p.p2p.pong_timeout);
+  put(os, "silence_timeout", p.p2p.silence_timeout);
+  put(os, "offer_window", p.p2p.offer_window);
+  put(os, "handshake_timeout", p.p2p.handshake_timeout);
+  put(os, "query_response_wait", p.p2p.query_response_wait);
+  put(os, "query_gap_min", p.p2p.query_gap_min);
+  put(os, "query_gap_max", p.p2p.query_gap_max);
+  put(os, "query_by_popularity",
+      static_cast<std::uint64_t>(p.p2p.query_by_popularity));
+  put(os, "enable_queries", static_cast<std::uint64_t>(p.p2p.enable_queries));
+  put(os, "routing_protocol", static_cast<std::uint64_t>(p.routing_protocol));
+  put(os, "dsdv_interval", p.dsdv.periodic_update_interval);
+  put(os, "dsdv_stale", p.dsdv.route_stale_timeout);
+  // Later-added knobs are emitted only when they deviate from defaults so
+  // that existing cache entries for default scenarios remain valid (they
+  // are behavioral no-ops at their defaults).
+  {
+    const routing::DsrParams dsr_defaults;
+    if (p.dsr.route_lifetime != dsr_defaults.route_lifetime ||
+        p.dsr.discovery_retries != dsr_defaults.discovery_retries) {
+      put(os, "dsr_lifetime", p.dsr.route_lifetime);
+      put(os, "dsr_retries",
+          static_cast<std::uint64_t>(p.dsr.discovery_retries));
+    }
+  }
+  put(os, "churn_rate", p.churn_death_rate_per_hour);
+  put(os, "churn_down", p.churn_down_time);
+  put(os, "aodv_art", p.aodv.active_route_timeout);
+  put(os, "aodv_my_rt", p.aodv.my_route_timeout);
+  put(os, "aodv_ntt", p.aodv.node_traversal_time);
+  put(os, "aodv_retries", static_cast<std::uint64_t>(p.aodv.rreq_retries));
+  put(os, "mac_bw", p.mac.bandwidth_bps);
+  put(os, "mac_loss", p.mac.loss_probability);
+  put(os, "mac_jitter", p.mac.jitter_max_s);
+  if (p.mac.gray_zone_fraction != 0.0) {
+    put(os, "mac_gray_zone", p.mac.gray_zone_fraction);
+  }
+  put(os, "battery", p.energy.battery_j);
+  put(os, "qualifier_dist", static_cast<std::uint64_t>(p.qualifier_dist));
+  put(os, "overlay_sample_interval", p.overlay_sample_interval_s);
+  put(os, "join_stagger", p.join_stagger_s);
+  put(os, "num_seeds", static_cast<std::uint64_t>(num_seeds));
+  return os.str();
+}
+
+std::string cache_key(const Parameters& params, std::size_t num_seeds) {
+  const std::string canon = canonical_parameters(params, num_seeds);
+  std::ostringstream os;
+  os << std::hex << sim::fnv1a(canon) << '-'
+     << sim::fnv1a(canon + "salt");
+  return os.str();
+}
+
+std::string cache_directory() {
+  if (const char* env = std::getenv("P2P_BENCH_CACHE")) return env;
+  return "bench_cache";
+}
+
+namespace {
+std::string cache_path(const Parameters& params, std::size_t num_seeds) {
+  return cache_directory() + "/" + cache_key(params, num_seeds) + ".txt";
+}
+}  // namespace
+
+bool load_cached(const Parameters& params, std::size_t num_seeds,
+                 ExperimentResult* result) {
+  std::ifstream is(cache_path(params, num_seeds));
+  if (!is) return false;
+  std::string magic;
+  std::getline(is, magic);
+  if (magic != "p2pmanet-cache v1") return false;
+
+  ExperimentResult r;
+  std::string tag;
+  std::size_t runs = 0;
+  if (!(is >> tag >> runs) || tag != "runs") return false;
+  r.runs = runs;
+  if (!read_curve(is, "connect", &r.connect_curve)) return false;
+  if (!read_curve(is, "ping", &r.ping_curve)) return false;
+  if (!read_curve(is, "query", &r.query_curve)) return false;
+
+  std::size_t num_ranks = 0;
+  if (!(is >> tag >> num_ranks) || tag != "ranks") return false;
+  r.ranks.resize(num_ranks);
+  for (auto& rank : r.ranks) {
+    if (!read_stat(is, &rank.answers_per_request)) return false;
+    if (!read_stat(is, &rank.min_distance)) return false;
+    if (!read_stat(is, &rank.min_p2p_hops)) return false;
+    if (!read_stat(is, &rank.answered_fraction)) return false;
+  }
+  for (auto* stat :
+       {&r.frames_transmitted, &r.energy_consumed_j, &r.routing_control,
+        &r.overlay_clustering, &r.overlay_path_length, &r.overlay_components,
+        &r.masters, &r.slaves, &r.events_processed}) {
+    if (!read_stat(is, stat)) return false;
+  }
+  // Optional trailing stats (added after the v4 format shipped); absent in
+  // older entries, which simply report zero reconfiguration telemetry.
+  if (!read_stat(is, &r.connections_established)) {
+    r.connections_established = stats::RunningStat{};
+    r.connections_closed = stats::RunningStat{};
+  } else if (!read_stat(is, &r.connections_closed)) {
+    r.connections_closed = stats::RunningStat{};
+  }
+  *result = std::move(r);
+  return true;
+}
+
+void store_cached(const Parameters& params, std::size_t num_seeds,
+                  const ExperimentResult& result) {
+  std::error_code ec;
+  std::filesystem::create_directories(cache_directory(), ec);
+  std::ofstream os(cache_path(params, num_seeds));
+  if (!os) return;
+  os.precision(17);
+  os << "p2pmanet-cache v1\n";
+  os << "runs " << result.runs << '\n';
+  write_curve(os, "connect", result.connect_curve);
+  write_curve(os, "ping", result.ping_curve);
+  write_curve(os, "query", result.query_curve);
+  os << "ranks " << result.ranks.size() << '\n';
+  for (const auto& rank : result.ranks) {
+    write_stat(os, rank.answers_per_request);
+    os << '\n';
+    write_stat(os, rank.min_distance);
+    os << '\n';
+    write_stat(os, rank.min_p2p_hops);
+    os << '\n';
+    write_stat(os, rank.answered_fraction);
+    os << '\n';
+  }
+  for (const auto* stat :
+       {&result.frames_transmitted, &result.energy_consumed_j,
+        &result.routing_control, &result.overlay_clustering,
+        &result.overlay_path_length, &result.overlay_components,
+        &result.masters, &result.slaves, &result.events_processed,
+        &result.connections_established, &result.connections_closed}) {
+    write_stat(os, *stat);
+    os << '\n';
+  }
+}
+
+ExperimentResult run_experiment_cached(
+    const Parameters& params, std::size_t num_seeds, std::size_t threads,
+    const std::function<void(std::size_t, std::size_t)>& on_run_done) {
+  ExperimentResult result;
+  if (load_cached(params, num_seeds, &result)) return result;
+  result = run_experiment(params, num_seeds, threads, on_run_done);
+  store_cached(params, num_seeds, result);
+  return result;
+}
+
+}  // namespace p2p::scenario

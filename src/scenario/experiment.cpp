@@ -1,0 +1,95 @@
+#include "scenario/experiment.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace p2p::scenario {
+
+ExperimentResult run_experiment(
+    const Parameters& base, std::size_t num_seeds, std::size_t threads,
+    const std::function<void(std::size_t, std::size_t)>& on_run_done) {
+  P2P_ASSERT(num_seeds >= 1);
+  ExperimentResult result;
+  result.ranks.resize(base.num_files);
+
+  std::mutex agg_mutex;
+  std::atomic<std::size_t> next_seed_index{0};
+  std::size_t done = 0;
+
+  const auto aggregate = [&](const RunResult& run) {
+    std::scoped_lock lock(agg_mutex);
+    ++result.runs;
+    result.connect_curve.add_run(run.connect_received_per_member());
+    result.ping_curve.add_run(run.ping_received_per_member());
+    result.query_curve.add_run(run.query_received_per_member());
+    for (std::size_t k = 0; k < run.per_file.size() && k < result.ranks.size();
+         ++k) {
+      const FileRankStats& f = run.per_file[k];
+      RankAggregate& agg = result.ranks[k];
+      if (f.requests > 0) {
+        agg.answers_per_request.add(f.answers_per_request());
+        agg.answered_fraction.add(f.answered_fraction());
+      }
+      if (f.physical_samples > 0) agg.min_distance.add(f.mean_min_physical());
+      if (f.p2p_samples > 0) agg.min_p2p_hops.add(f.mean_min_p2p());
+    }
+    result.frames_transmitted.add(static_cast<double>(run.frames_transmitted));
+    result.energy_consumed_j.add(run.energy_consumed_j);
+    result.routing_control.add(static_cast<double>(run.routing_control_messages));
+    result.overlay_clustering.add(run.overlay_final.clustering);
+    result.overlay_path_length.add(run.overlay_final.path_length);
+    result.overlay_components.add(static_cast<double>(run.overlay_final.components));
+    result.masters.add(static_cast<double>(run.masters));
+    result.slaves.add(static_cast<double>(run.slaves));
+    result.events_processed.add(static_cast<double>(run.events_processed));
+    result.connections_established.add(
+        static_cast<double>(run.connections_established));
+    result.connections_closed.add(static_cast<double>(run.connections_closed));
+    ++done;
+    if (on_run_done) on_run_done(done, num_seeds);
+  };
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t idx = next_seed_index.fetch_add(1);
+      if (idx >= num_seeds) return;
+      Parameters params = base;
+      params.seed = base.seed + idx;
+      SimulationRun run(params);
+      const RunResult r = run.run();
+      aggregate(r);
+    }
+  };
+
+  std::size_t pool = threads;
+  if (pool == 0) {
+    pool = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  pool = std::min(pool, num_seeds);
+
+  if (pool <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(pool);
+    for (std::size_t i = 0; i < pool; ++i) workers.emplace_back(worker);
+    for (auto& t : workers) t.join();
+  }
+  return result;
+}
+
+std::size_t bench_seed_count() {
+  if (const char* env = std::getenv("P2P_BENCH_SEEDS")) {
+    if (const auto v = util::parse_int(env); v && *v >= 1) {
+      return static_cast<std::size_t>(*v);
+    }
+  }
+  return kPaperSeeds;
+}
+
+}  // namespace p2p::scenario

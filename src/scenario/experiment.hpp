@@ -1,0 +1,69 @@
+// Multi-seed experiment driver.
+//
+// The paper repeats every simulation 33 times; we run the repetitions on
+// a pool of worker threads (each run is a fully isolated world) and
+// aggregate: sorted per-node curves for the Figures 7-12 message plots,
+// per-file-rank means for Figures 5-6, plus network/overlay summaries
+// with 95% confidence intervals.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "scenario/parameters.hpp"
+#include "scenario/run.hpp"
+#include "stats/running_stat.hpp"
+#include "stats/sorted_curve.hpp"
+
+namespace p2p::scenario {
+
+struct RankAggregate {
+  stats::RunningStat answers_per_request;  // per-run means
+  stats::RunningStat min_distance;         // per-run mean min physical hops
+  stats::RunningStat min_p2p_hops;
+  stats::RunningStat answered_fraction;
+};
+
+struct ExperimentResult {
+  std::size_t runs = 0;
+
+  // Figures 7-12: per-node received-message curves (rank-ordered).
+  stats::SortedCurve connect_curve;
+  stats::SortedCurve ping_curve;
+  stats::SortedCurve query_curve;
+
+  // Figures 5-6: per file rank (index = rank - 1).
+  std::vector<RankAggregate> ranks;
+
+  // Cross-run summaries.
+  stats::RunningStat frames_transmitted;
+  stats::RunningStat energy_consumed_j;
+  stats::RunningStat routing_control;  // control messages sent (RREQ/RREP/RERR or DSDV updates)
+  stats::RunningStat overlay_clustering;   // final-snapshot values
+  stats::RunningStat overlay_path_length;
+  stats::RunningStat overlay_components;
+  stats::RunningStat masters;
+  stats::RunningStat slaves;
+  stats::RunningStat events_processed;
+  stats::RunningStat connections_established;  // reconfiguration volume
+  stats::RunningStat connections_closed;
+};
+
+/// Run `num_seeds` repetitions of `base` with seeds base.seed, base.seed+1,
+/// ..., on up to `threads` workers (0 = hardware concurrency). The
+/// optional `on_run_done` callback fires from worker threads under the
+/// aggregation lock (safe for progress printing).
+ExperimentResult run_experiment(
+    const Parameters& base, std::size_t num_seeds, std::size_t threads = 0,
+    const std::function<void(std::size_t done, std::size_t total)>&
+        on_run_done = {});
+
+/// Number of repetitions the paper uses.
+inline constexpr std::size_t kPaperSeeds = 33;
+
+/// Reads P2P_BENCH_SEEDS from the environment (bench harness knob);
+/// falls back to kPaperSeeds.
+std::size_t bench_seed_count();
+
+}  // namespace p2p::scenario

@@ -1,0 +1,114 @@
+#include "scenario/parameters.hpp"
+
+#include <sstream>
+
+#include "core/factory.hpp"
+
+namespace p2p::scenario {
+
+std::string Parameters::apply(const util::Config& config) {
+  const auto get_d = [&](const char* key, double* out) {
+    if (const auto v = config.get_double(key)) *out = *v;
+  };
+  const auto get_sz = [&](const char* key, std::size_t* out) {
+    if (const auto v = config.get_int(key)) *out = static_cast<std::size_t>(*v);
+  };
+  const auto get_i = [&](const char* key, int* out) {
+    if (const auto v = config.get_int(key)) *out = static_cast<int>(*v);
+  };
+  const auto get_b = [&](const char* key, bool* out) {
+    if (const auto v = config.get_bool(key)) *out = *v;
+  };
+
+  get_d("area_width", &area_width);
+  get_d("area_height", &area_height);
+  get_d("radio_range", &radio_range);
+  get_sz("num_nodes", &num_nodes);
+  get_d("p2p_fraction", &p2p_fraction);
+  get_d("duration_s", &duration_s);
+  if (const auto v = config.get_int("seed")) seed = static_cast<std::uint64_t>(*v);
+
+  get_b("mobile", &mobile);
+  if (const auto v = config.get_string("mobility")) {
+    if (*v == "waypoint") mobility_kind = MobilityKind::kRandomWaypoint;
+    else if (*v == "direction") mobility_kind = MobilityKind::kRandomDirection;
+    else if (*v == "gauss_markov") mobility_kind = MobilityKind::kGaussMarkov;
+    else return "unknown mobility: " + *v;
+  }
+  get_d("max_speed", &max_speed);
+  get_d("min_speed", &min_speed);
+  get_d("max_pause", &max_pause);
+
+  if (const auto v = config.get_int("num_files")) {
+    num_files = static_cast<std::uint32_t>(*v);
+  }
+  get_d("max_frequency", &max_frequency);
+
+  if (const auto v = config.get_string("algorithm")) {
+    const auto kind = core::parse_algorithm(*v);
+    if (!kind) return "unknown algorithm: " + *v;
+    algorithm = *kind;
+  }
+
+  get_i("maxnconn", &p2p.maxnconn);
+  get_i("nhops_initial", &p2p.nhops_initial);
+  get_i("maxnhops", &p2p.maxnhops);
+  get_i("nhops_basic", &p2p.nhops_basic);
+  get_i("maxdist", &p2p.maxdist);
+  get_i("maxnslaves", &p2p.maxnslaves);
+  get_i("query_ttl", &p2p.query_ttl);
+  get_d("timer_initial", &p2p.timer_initial);
+  get_d("maxtimer", &p2p.maxtimer);
+  get_d("maxtimer_master", &p2p.maxtimer_master);
+  get_d("ping_interval", &p2p.ping_interval);
+  get_d("pong_timeout", &p2p.pong_timeout);
+  get_d("silence_timeout", &p2p.silence_timeout);
+  get_d("offer_window", &p2p.offer_window);
+  get_d("handshake_timeout", &p2p.handshake_timeout);
+  get_d("query_response_wait", &p2p.query_response_wait);
+  get_d("query_gap_min", &p2p.query_gap_min);
+  get_d("query_gap_max", &p2p.query_gap_max);
+  get_b("query_by_popularity", &p2p.query_by_popularity);
+  get_b("enable_queries", &p2p.enable_queries);
+
+  if (const auto v = config.get_string("routing_protocol")) {
+    if (*v == "aodv") routing_protocol = RoutingProtocol::kAodv;
+    else if (*v == "dsdv") routing_protocol = RoutingProtocol::kDsdv;
+    else if (*v == "dsr") routing_protocol = RoutingProtocol::kDsr;
+    else return "unknown routing_protocol: " + *v;
+  }
+  get_d("aodv_active_route_timeout", &aodv.active_route_timeout);
+  get_d("dsdv_update_interval", &dsdv.periodic_update_interval);
+  get_d("dsdv_stale_timeout", &dsdv.route_stale_timeout);
+  get_d("mac_bandwidth_bps", &mac.bandwidth_bps);
+  get_d("mac_loss_probability", &mac.loss_probability);
+  get_d("mac_gray_zone_fraction", &mac.gray_zone_fraction);
+  get_d("battery_j", &energy.battery_j);
+  get_d("churn_death_rate_per_hour", &churn_death_rate_per_hour);
+  get_d("churn_down_time", &churn_down_time);
+
+  if (const auto v = config.get_string("qualifier_dist")) {
+    if (*v == "uniform") qualifier_dist = QualifierDist::kUniformPermutation;
+    else if (*v == "two_class") qualifier_dist = QualifierDist::kTwoClass;
+    else return "unknown qualifier_dist: " + *v;
+  }
+  get_d("overlay_sample_interval_s", &overlay_sample_interval_s);
+  get_d("join_stagger_s", &join_stagger_s);
+
+  if (num_nodes == 0) return "num_nodes must be > 0";
+  if (p2p_fraction <= 0.0 || p2p_fraction > 1.0) {
+    return "p2p_fraction must be in (0, 1]";
+  }
+  return {};
+}
+
+std::string Parameters::summary() const {
+  std::ostringstream os;
+  os << core::algorithm_name(algorithm) << " | " << num_nodes << " nodes ("
+     << num_members() << " p2p), " << area_width << "x" << area_height
+     << " m, range " << radio_range << " m, " << duration_s << " s, seed "
+     << seed;
+  return os.str();
+}
+
+}  // namespace p2p::scenario

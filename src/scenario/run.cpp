@@ -1,0 +1,317 @@
+#include "scenario/run.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "content/zipf.hpp"
+#include "core/factory.hpp"
+#include "routing/aodv.hpp"
+#include "routing/dsdv.hpp"
+#include "routing/dsr.hpp"
+#include "core/hybrid.hpp"
+#include "mobility/gauss_markov.hpp"
+#include "mobility/random_direction.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "util/assert.hpp"
+
+namespace p2p::scenario {
+
+SimulationRun::SimulationRun(const Parameters& params)
+    : params_(params), rngs_(params.seed) {}
+
+SimulationRun::~SimulationRun() = default;
+
+void SimulationRun::build() {
+  P2P_ASSERT_MSG(!built_, "build() called twice");
+  built_ = true;
+
+  net::NetworkParams net_params;
+  net_params.region = {params_.area_width, params_.area_height};
+  net_params.range = params_.radio_range;
+  net_params.mac = params_.mac;
+  net_params.max_speed_hint = params_.mobile ? params_.max_speed : 0.01;
+  network_ = std::make_unique<net::Network>(sim_, net_params,
+                                            rngs_.stream("mac"));
+
+  // Physical nodes + routing stack.
+  for (std::size_t i = 0; i < params_.num_nodes; ++i) {
+    std::unique_ptr<mobility::MobilityModel> model;
+    if (params_.mobile &&
+        params_.mobility_kind == MobilityKind::kRandomWaypoint) {
+      mobility::RandomWaypointParams rwp;
+      rwp.region = net_params.region;
+      rwp.max_speed = params_.max_speed;
+      rwp.min_speed = params_.min_speed;
+      rwp.max_pause = params_.max_pause;
+      model = std::make_unique<mobility::RandomWaypoint>(
+          rwp, rngs_.stream("mobility", i));
+    } else if (params_.mobile &&
+               params_.mobility_kind == MobilityKind::kRandomDirection) {
+      mobility::RandomDirectionParams rdp;
+      rdp.region = net_params.region;
+      rdp.max_speed = params_.max_speed;
+      rdp.min_speed = params_.min_speed;
+      rdp.max_pause = params_.max_pause;
+      model = std::make_unique<mobility::RandomDirection>(
+          rdp, rngs_.stream("mobility", i));
+    } else if (params_.mobile &&
+               params_.mobility_kind == MobilityKind::kGaussMarkov) {
+      mobility::GaussMarkovParams gmp;
+      gmp.region = net_params.region;
+      gmp.mean_speed = 0.7 * params_.max_speed;
+      model = std::make_unique<mobility::GaussMarkov>(
+          gmp, rngs_.stream("mobility", i));
+    } else {
+      auto rng = rngs_.stream("mobility", i);
+      model = std::make_unique<mobility::StaticModel>(geo::Vec2{
+          rng.uniform(0.0, params_.area_width),
+          rng.uniform(0.0, params_.area_height)});
+    }
+    const net::NodeId id = network_->add_node(std::move(model), params_.energy);
+    if (params_.routing_protocol == RoutingProtocol::kDsdv) {
+      // Each agent attaches itself to the network as a LinkListener.
+      auto agent = std::make_unique<routing::DsdvAgent>(sim_, *network_, id,
+                                                        params_.dsdv);
+      routing_.push_back(std::move(agent));
+    } else if (params_.routing_protocol == RoutingProtocol::kDsr) {
+      routing_.push_back(std::make_unique<routing::DsrAgent>(sim_, *network_,
+                                                             id, params_.dsr));
+    } else {
+      routing_.push_back(std::make_unique<routing::AodvAgent>(
+          sim_, *network_, id, params_.aodv));
+    }
+    flood_.push_back(std::make_unique<routing::FloodService>(
+        sim_, *network_, id, routing_.back().get()));
+  }
+
+  // Churn: schedule random failures with exponential inter-arrival times.
+  if (params_.churn_death_rate_per_hour > 0.0) {
+    churn_rng_ = std::make_unique<sim::RngStream>(rngs_.stream("churn"));
+    for (std::size_t i = 0; i < params_.num_nodes; ++i) {
+      schedule_churn(static_cast<net::NodeId>(i));
+    }
+  }
+
+  // Pick the P2P members: a seeded random subset of 75% of the nodes.
+  std::vector<net::NodeId> ids(params_.num_nodes);
+  std::iota(ids.begin(), ids.end(), 0U);
+  {
+    auto rng = rngs_.stream("members");
+    rng.shuffle(ids);
+  }
+  const std::size_t m = params_.num_members();
+  members_.assign(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(m));
+  std::sort(members_.begin(), members_.end());
+
+  // Content placement over members.
+  const content::ZipfLaw law(params_.num_files, params_.max_frequency);
+  placement_ = std::make_unique<content::Placement>(
+      law, static_cast<std::uint32_t>(m), rngs_.stream("placement"));
+  per_file_.assign(params_.num_files, FileRankStats{});
+
+  // Qualifiers (Hybrid): a capability ranking over the members.
+  std::vector<std::uint32_t> qualifiers(m);
+  std::iota(qualifiers.begin(), qualifiers.end(), 1U);
+  {
+    auto rng = rngs_.stream("qualifier");
+    rng.shuffle(qualifiers);
+    if (params_.qualifier_dist == QualifierDist::kTwoClass) {
+      // 20% strong devices keep high ranks; the rest get rank 0 buckets
+      // (ties broken by node id inside the algorithm).
+      for (std::size_t i = 0; i < m; ++i) {
+        const bool strong = qualifiers[i] > static_cast<std::uint32_t>(0.8 * static_cast<double>(m));
+        qualifiers[i] = strong ? qualifiers[i] : 0;
+      }
+    }
+  }
+
+  // Servents.
+  for (std::size_t idx = 0; idx < m; ++idx) {
+    const net::NodeId id = members_[idx];
+    core::ServentContext ctx;
+    ctx.sim = &sim_;
+    ctx.net = network_.get();
+    ctx.routing = routing_[id].get();
+    ctx.flood = flood_[id].get();
+    ctx.self = id;
+    auto servent =
+        core::make_servent(params_.algorithm, ctx, params_.p2p,
+                           rngs_.stream("servent", idx), qualifiers[idx]);
+    servent->set_placement(placement_.get(),
+                           static_cast<std::uint32_t>(idx));
+    servent->set_query_recorder(this);
+    servents_.push_back(std::move(servent));
+  }
+
+  // Joins staggered within [0, join_stagger_s).
+  auto join_rng = rngs_.stream("join");
+  for (auto& servent : servents_) {
+    const double offset = params_.join_stagger_s > 0.0
+                              ? join_rng.uniform(0.0, params_.join_stagger_s)
+                              : 0.0;
+    core::Servent* raw = servent.get();
+    sim_.at(offset, [raw] { raw->start(); });
+  }
+
+  // Periodic overlay sampling via a self-rescheduling functor.
+  if (params_.overlay_sample_interval_s > 0.0) {
+    struct Sampler {
+      SimulationRun* run;
+      double interval;
+      void operator()() const {
+        run->sample_overlay();
+        run->sim_.after(interval, *this);
+      }
+    };
+    sim_.after(params_.overlay_sample_interval_s,
+               Sampler{this, params_.overlay_sample_interval_s});
+  }
+}
+
+void SimulationRun::schedule_churn(net::NodeId id) {
+  // Exponential time until this node's next failure.
+  const double mean_s = 3600.0 / params_.churn_death_rate_per_hour;
+  const sim::SimTime until_death = churn_rng_->exponential(mean_s);
+  sim_.after(until_death, [this, id] {
+    if (!network_->alive(id)) {
+      schedule_churn(id);  // already down (battery); try again later
+      return;
+    }
+    network_->set_failed(id, true);
+    ++churn_deaths_;
+    sim_.after(params_.churn_down_time, [this, id] {
+      network_->set_failed(id, false);  // "birth": the node rejoins
+      schedule_churn(id);
+    });
+  });
+}
+
+graph::Graph SimulationRun::overlay_graph() const {
+  // Vertices are member indices; an edge exists wherever at least one
+  // endpoint holds a reference to the other.
+  std::vector<std::uint32_t> node_to_member(params_.num_nodes,
+                                            net::kInvalidNode);
+  for (std::size_t idx = 0; idx < members_.size(); ++idx) {
+    node_to_member[members_[idx]] = static_cast<std::uint32_t>(idx);
+  }
+  graph::Graph g(members_.size());
+  for (std::size_t idx = 0; idx < servents_.size(); ++idx) {
+    for (const net::NodeId peer : servents_[idx]->connections().peers()) {
+      if (peer < node_to_member.size() &&
+          node_to_member[peer] != net::kInvalidNode) {
+        g.add_edge(static_cast<graph::Vertex>(idx), node_to_member[peer]);
+      }
+    }
+  }
+  return g;
+}
+
+void SimulationRun::sample_overlay() {
+  overlay_samples_.push_back(graph::analyze(overlay_graph()));
+}
+
+void SimulationRun::on_request_complete(core::FileId file, int answers,
+                                        int min_physical_hops,
+                                        int min_p2p_hops) {
+  P2P_ASSERT(file >= 1 && file <= per_file_.size());
+  FileRankStats& stats = per_file_[file - 1];
+  ++stats.requests;
+  if (answers > 0) {
+    ++stats.answered;
+    stats.answers_total += static_cast<std::uint64_t>(answers);
+    if (min_physical_hops >= 0) {
+      stats.sum_min_physical += min_physical_hops;
+      ++stats.physical_samples;
+    }
+    if (min_p2p_hops >= 0) {
+      stats.sum_min_p2p += min_p2p_hops;
+      ++stats.p2p_samples;
+    }
+  }
+}
+
+core::Servent& SimulationRun::servent(std::size_t member_index) {
+  P2P_ASSERT(member_index < servents_.size());
+  return *servents_[member_index];
+}
+
+net::NodeId SimulationRun::member_node(std::size_t member_index) const {
+  P2P_ASSERT(member_index < members_.size());
+  return members_[member_index];
+}
+
+RunResult SimulationRun::run() {
+  if (!built_) build();
+  sim_.run_until(params_.duration_s);
+  return collect();
+}
+
+RunResult SimulationRun::collect() {
+  RunResult result;
+  result.num_nodes = params_.num_nodes;
+  result.num_members = members_.size();
+  result.counters.reserve(servents_.size());
+  for (const auto& servent : servents_) {
+    result.counters.push_back(servent->counters());
+    result.connections_established += servent->connections_established();
+    result.connections_closed += servent->connections_closed();
+  }
+  result.per_file = per_file_;
+
+  result.frames_transmitted = network_->frames_transmitted();
+  result.frames_delivered = network_->frames_delivered();
+  result.frames_lost = network_->frames_lost();
+  for (std::size_t i = 0; i < params_.num_nodes; ++i) {
+    result.energy_consumed_j +=
+        network_->energy(static_cast<net::NodeId>(i)).consumed_j();
+    const auto telemetry = routing_[i]->telemetry();
+    result.routing_control_messages += telemetry.control_messages_sent;
+    result.data_delivered += telemetry.data_delivered;
+    result.data_dropped += telemetry.data_dropped;
+  }
+  result.events_processed = sim_.events_processed();
+  result.churn_deaths = churn_deaths_;
+
+  result.overlay_samples = overlay_samples_;
+  result.overlay_final = graph::analyze(overlay_graph());
+  result.physical_final = graph::analyze(graph::Graph(
+      network_->adjacency_snapshot()));
+
+  if (params_.algorithm == core::AlgorithmKind::kHybrid) {
+    for (const auto& servent : servents_) {
+      const auto& hybrid = static_cast<const core::HybridServent&>(*servent);
+      if (hybrid.state() == core::HybridState::kMaster) ++result.masters;
+      if (hybrid.state() == core::HybridState::kSlave) ++result.slaves;
+    }
+  }
+  return result;
+}
+
+std::vector<double> RunResult::connect_received_per_member() const {
+  std::vector<double> out;
+  out.reserve(counters.size());
+  for (const auto& c : counters) {
+    out.push_back(static_cast<double>(c.connect_received()));
+  }
+  return out;
+}
+
+std::vector<double> RunResult::ping_received_per_member() const {
+  std::vector<double> out;
+  out.reserve(counters.size());
+  for (const auto& c : counters) {
+    out.push_back(static_cast<double>(c.ping_received()));
+  }
+  return out;
+}
+
+std::vector<double> RunResult::query_received_per_member() const {
+  std::vector<double> out;
+  out.reserve(counters.size());
+  for (const auto& c : counters) {
+    out.push_back(static_cast<double>(c.query_received()));
+  }
+  return out;
+}
+
+}  // namespace p2p::scenario

@@ -1,0 +1,153 @@
+// One complete simulated world: build, run, collect.
+//
+// A SimulationRun owns every component of one world (simulator, network,
+// routing agents, servents, content placement) — nothing is shared with
+// other runs, so the experiment driver can execute runs on parallel
+// threads without any synchronization.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "content/catalog.hpp"
+#include "core/counters.hpp"
+#include "core/servent.hpp"
+#include "graph/metrics.hpp"
+#include "mobility/model.hpp"
+#include "net/network.hpp"
+#include "routing/flood.hpp"
+#include "routing/service.hpp"
+#include "scenario/parameters.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace p2p::scenario {
+
+/// Per-file-rank query outcome aggregates for one run.
+struct FileRankStats {
+  std::uint64_t requests = 0;
+  std::uint64_t answered = 0;       // requests with >= 1 answer
+  std::uint64_t answers_total = 0;  // sum of answers over requests
+  double sum_min_physical = 0.0;    // over answered requests w/ a distance
+  std::uint64_t physical_samples = 0;
+  double sum_min_p2p = 0.0;
+  std::uint64_t p2p_samples = 0;
+
+  double answers_per_request() const noexcept {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(answers_total) /
+                               static_cast<double>(requests);
+  }
+  double mean_min_physical() const noexcept {
+    return physical_samples == 0
+               ? 0.0
+               : sum_min_physical / static_cast<double>(physical_samples);
+  }
+  double mean_min_p2p() const noexcept {
+    return p2p_samples == 0 ? 0.0
+                            : sum_min_p2p / static_cast<double>(p2p_samples);
+  }
+  double answered_fraction() const noexcept {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(answered) /
+                               static_cast<double>(requests);
+  }
+};
+
+struct RunResult {
+  std::size_t num_nodes = 0;
+  std::size_t num_members = 0;
+
+  /// Per-member message counters, in member order.
+  std::vector<core::MessageCounters> counters;
+  /// Per-file-rank query stats (index = rank - 1).
+  std::vector<FileRankStats> per_file;
+
+  // Network/energy totals.
+  std::uint64_t frames_transmitted = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t frames_lost = 0;
+  double energy_consumed_j = 0.0;
+  std::uint64_t events_processed = 0;
+
+  // Routing totals (protocol-independent; see RoutingService::Telemetry).
+  std::uint64_t routing_control_messages = 0;
+  std::uint64_t data_delivered = 0;
+  std::uint64_t data_dropped = 0;
+
+  // Churn accounting (0 when churn is disabled).
+  std::uint64_t churn_deaths = 0;
+
+  // Overlay reconfiguration volume: connection (reference) set-ups and
+  // tear-downs summed over all members — the cost the paper's algorithms
+  // try to control.
+  std::uint64_t connections_established = 0;
+  std::uint64_t connections_closed = 0;
+
+  // Overlay structure: periodic samples + final snapshot.
+  std::vector<graph::SmallWorldMetrics> overlay_samples;
+  graph::SmallWorldMetrics overlay_final;
+  graph::SmallWorldMetrics physical_final;
+
+  // Hybrid role census at the end (0 for other algorithms).
+  std::size_t masters = 0;
+  std::size_t slaves = 0;
+
+  // Convenience extracts for the figure benches.
+  std::vector<double> connect_received_per_member() const;
+  std::vector<double> ping_received_per_member() const;
+  std::vector<double> query_received_per_member() const;
+};
+
+class SimulationRun final : public core::QueryRecorder {
+ public:
+  explicit SimulationRun(const Parameters& params);
+  ~SimulationRun() override;
+
+  SimulationRun(const SimulationRun&) = delete;
+  SimulationRun& operator=(const SimulationRun&) = delete;
+
+  /// Build the world, simulate `params.duration_s` seconds, collect.
+  RunResult run();
+
+  /// QueryRecorder: every member reports completed requests here.
+  void on_request_complete(core::FileId file, int answers,
+                           int min_physical_hops, int min_p2p_hops) override;
+
+  // Introspection for tests (valid after build(), which run() calls).
+  void build();
+  sim::Simulator& simulator() noexcept { return sim_; }
+  net::Network& network() noexcept { return *network_; }
+  core::Servent& servent(std::size_t member_index);
+  std::size_t member_count() const noexcept { return members_.size(); }
+  net::NodeId member_node(std::size_t member_index) const;
+  const content::Placement& placement() const noexcept { return *placement_; }
+
+  /// Overlay graph over members: edge wherever at least one side holds a
+  /// reference (references are usable one-way).
+  graph::Graph overlay_graph() const;
+
+ private:
+  void sample_overlay();
+  RunResult collect();
+
+  void schedule_churn(net::NodeId id);
+
+  Parameters params_;
+  sim::RngManager rngs_;
+  sim::Simulator sim_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<std::unique_ptr<routing::RoutingService>> routing_;
+  std::vector<std::unique_ptr<routing::FloodService>> flood_;
+  std::unique_ptr<sim::RngStream> churn_rng_;
+  std::uint64_t churn_deaths_ = 0;
+  std::vector<net::NodeId> members_;  // member index -> node id
+  std::vector<std::unique_ptr<core::Servent>> servents_;
+  std::unique_ptr<content::Placement> placement_;
+  std::vector<FileRankStats> per_file_;
+  std::vector<graph::SmallWorldMetrics> overlay_samples_;
+  bool built_ = false;
+};
+
+}  // namespace p2p::scenario

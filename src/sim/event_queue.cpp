@@ -1,0 +1,70 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace p2p::sim {
+
+EventId EventQueue::push(SimTime at, EventFn fn) {
+  P2P_ASSERT_MSG(at == at, "NaN event time");  // NaN check
+  const std::uint64_t seq = next_seq_++;
+  const EventId id = seq + 1;  // 0 stays kInvalidEventId
+  heap_.push_back(Entry{at, seq, id, std::move(fn)});
+  pending_.insert(id);
+  sift_up(heap_.size() - 1);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) noexcept {
+  return pending_.erase(id) > 0;
+}
+
+void EventQueue::drop_dead_tops() {
+  while (!heap_.empty() && pending_.find(heap_.front().id) == pending_.end()) {
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+}
+
+SimTime EventQueue::next_time() {
+  drop_dead_tops();
+  return heap_.empty() ? kTimeNever : heap_.front().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_dead_tops();
+  P2P_ASSERT_MSG(!heap_.empty(), "pop from empty EventQueue");
+  Entry top = std::move(heap_.front());
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  pending_.erase(top.id);
+  return Popped{top.time, top.id, std::move(top.fn)};
+}
+
+void EventQueue::sift_up(std::size_t i) noexcept {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!later(heap_[parent], heap_[i])) break;
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) noexcept {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    std::size_t smallest = i;
+    if (l < n && later(heap_[smallest], heap_[l])) smallest = l;
+    if (r < n && later(heap_[smallest], heap_[r])) smallest = r;
+    if (smallest == i) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace p2p::sim

@@ -1,0 +1,77 @@
+// Pending-event set for the discrete-event kernel.
+//
+// A binary min-heap ordered by (time, sequence). Cancellation is lazy: a
+// cancelled entry stays in the heap and is skipped on pop, which keeps
+// cancel() cheap — important because the P2P maintenance layer cancels
+// timers constantly (every received pong reschedules a timeout).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace p2p::sim {
+
+/// Opaque handle for cancellation. Value 0 is "no event".
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  /// Schedule `fn` at absolute time `at`. Returns a handle usable with
+  /// cancel(). Ties at equal time fire in push order (FIFO), which makes
+  /// runs bit-reproducible.
+  EventId push(SimTime at, EventFn fn);
+
+  /// Cancel a pending event. Returns true if the event existed and had not
+  /// yet fired. Cancelling an already-fired or invalid id is a no-op.
+  bool cancel(EventId id) noexcept;
+
+  bool empty() const noexcept { return pending_.empty(); }
+  std::size_t size() const noexcept { return pending_.size(); }
+
+  /// Time of the earliest live event; kTimeNever when empty.
+  SimTime next_time();
+
+  /// Pop the earliest live event. Pre: !empty().
+  struct Popped {
+    SimTime time;
+    EventId id;
+    EventFn fn;
+  };
+  Popped pop();
+
+  /// Total events ever scheduled (telemetry).
+  std::uint64_t total_scheduled() const noexcept { return next_seq_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    EventId id;
+    EventFn fn;
+  };
+  // Min-heap on (time, seq), hand-rolled so we can move EventFns around
+  // without the comparator copies std::priority_queue would do.
+  static bool later(const Entry& a, const Entry& b) noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+  void sift_up(std::size_t i) noexcept;
+  void sift_down(std::size_t i) noexcept;
+  /// Remove cancelled entries sitting at the heap top.
+  void drop_dead_tops();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> pending_;  // live (un-fired, un-cancelled) ids
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace p2p::sim

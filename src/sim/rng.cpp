@@ -1,0 +1,24 @@
+#include "sim/rng.hpp"
+
+#include "util/assert.hpp"
+
+namespace p2p::sim {
+
+double RngStream::uniform(double lo, double hi) {
+  P2P_DASSERT(lo <= hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+std::int64_t RngStream::uniform_int(std::int64_t lo, std::int64_t hi) {
+  P2P_DASSERT(lo <= hi);
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double RngStream::exponential(double mean) {
+  P2P_DASSERT(mean > 0.0);
+  std::exponential_distribution<double> dist(1.0 / mean);
+  return dist(engine_);
+}
+
+}  // namespace p2p::sim

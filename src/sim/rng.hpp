@@ -1,0 +1,94 @@
+// Deterministic random-number streams.
+//
+// Every stochastic component (mobility of node i, MAC jitter, query
+// think-times, Zipf placement, ...) draws from its own named stream whose
+// seed is derived from (master seed, stream name) via splitmix64. Adding a
+// new consumer therefore never perturbs the draws of existing ones — runs
+// stay comparable across code versions, the property ns-2 users get from
+// separate RNG substreams.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace p2p::sim {
+
+/// splitmix64 step — good avalanche, used only for seed derivation.
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over a string, for stream-name hashing.
+constexpr std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// One independent random stream (mt19937_64 under the hood).
+class RngStream {
+ public:
+  explicit RngStream(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform01() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi). Pre: lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Pre: lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Fisher–Yates shuffle.
+  template <typename Vec>
+  void shuffle(Vec& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+/// Derives named streams from a single master seed.
+class RngManager {
+ public:
+  explicit RngManager(std::uint64_t master_seed) : master_seed_(master_seed) {}
+
+  std::uint64_t master_seed() const noexcept { return master_seed_; }
+
+  /// Stream for a named component. Same (seed, name) -> same stream.
+  RngStream stream(std::string_view name) const {
+    return RngStream(splitmix64(master_seed_ ^ fnv1a(name)));
+  }
+
+  /// Stream for a named, indexed component (e.g. per-node mobility).
+  RngStream stream(std::string_view name, std::uint64_t index) const {
+    return RngStream(splitmix64(splitmix64(master_seed_ ^ fnv1a(name)) + index));
+  }
+
+ private:
+  std::uint64_t master_seed_;
+};
+
+}  // namespace p2p::sim

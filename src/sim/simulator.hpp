@@ -1,0 +1,59 @@
+// Discrete-event simulator facade.
+//
+// One Simulator instance is one independent simulated world; experiment
+// drivers run many worlds concurrently, one per thread, with zero shared
+// mutable state (each run owns its Simulator, Network, RNG streams, ...).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace p2p::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedule at an absolute time. Times in the past are clamped to now()
+  /// (the event fires next, after already-queued events at now()).
+  EventId at(SimTime when, EventFn fn);
+
+  /// Schedule after a relative delay (>= 0).
+  EventId after(SimTime delay, EventFn fn);
+
+  /// Cancel a pending event; no-op if it already fired. Returns whether a
+  /// live event was cancelled.
+  bool cancel(EventId id) noexcept { return queue_.cancel(id); }
+
+  /// Run until the queue drains or `until` is reached, whichever is first.
+  /// Events scheduled exactly at `until` do fire. Returns the number of
+  /// events processed by this call.
+  std::uint64_t run_until(SimTime until);
+
+  /// Run until the queue drains.
+  std::uint64_t run() { return run_until(kTimeNever); }
+
+  /// Request an orderly stop from inside an event handler; run_until
+  /// returns after the current handler completes.
+  void stop() noexcept { stopped_ = true; }
+  bool stopped() const noexcept { return stopped_; }
+
+  std::uint64_t events_processed() const noexcept { return events_processed_; }
+  std::size_t events_pending() const noexcept { return queue_.size(); }
+  std::uint64_t events_scheduled() const noexcept { return queue_.total_scheduled(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = kTimeZero;
+  bool stopped_ = false;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace p2p::sim

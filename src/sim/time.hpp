@@ -1,0 +1,21 @@
+// Simulation time.
+//
+// Time is a double in seconds. Event ordering ties (equal timestamps) are
+// broken by insertion sequence, so iterating a simulation twice with the
+// same seeds is bit-reproducible.
+#pragma once
+
+#include <limits>
+
+namespace p2p::sim {
+
+using SimTime = double;
+
+inline constexpr SimTime kTimeZero = 0.0;
+inline constexpr SimTime kTimeNever = std::numeric_limits<SimTime>::infinity();
+
+/// One microsecond — used as the minimal scheduling granularity for
+/// "immediately after" semantics.
+inline constexpr SimTime kEpsilon = 1e-6;
+
+}  // namespace p2p::sim

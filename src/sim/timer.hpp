@@ -1,0 +1,57 @@
+// One-shot restartable timer bound to a Simulator.
+//
+// Wraps the schedule/cancel/reschedule dance that protocol state machines
+// (ping timeouts, handshake reservations, backoff cycles) repeat endlessly.
+// The callback is stored once; restart()/stop() manage the pending event.
+//
+// Lifetime: the owner must outlive any pending firing, which holds for all
+// users here because timers are members of the objects whose methods they
+// call and a world's Simulator never outlives its components... but the
+// inverse can happen during teardown, so Timer cancels itself on
+// destruction.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "sim/simulator.hpp"
+
+namespace p2p::sim {
+
+class Timer {
+ public:
+  Timer(Simulator& simulator, std::function<void()> on_fire)
+      : sim_(&simulator), on_fire_(std::move(on_fire)) {}
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  ~Timer() { stop(); }
+
+  /// (Re)arm the timer to fire after `delay`. A previously pending firing
+  /// is cancelled.
+  void restart(SimTime delay) {
+    stop();
+    pending_ = sim_->after(delay, [this] {
+      pending_ = kInvalidEventId;
+      on_fire_();
+    });
+  }
+
+  /// Cancel the pending firing, if any.
+  void stop() noexcept {
+    if (pending_ != kInvalidEventId) {
+      sim_->cancel(pending_);
+      pending_ = kInvalidEventId;
+    }
+  }
+
+  bool pending() const noexcept { return pending_ != kInvalidEventId; }
+
+ private:
+  Simulator* sim_;
+  std::function<void()> on_fire_;
+  EventId pending_ = kInvalidEventId;
+};
+
+}  // namespace p2p::sim

@@ -1,0 +1,32 @@
+// Load-distribution fairness.
+//
+// The paper's §7.4 argument: "The best way to cope with lack of resources
+// in ad-hoc networks is to distribute the work among all nodes. If the
+// network ... is homogeneous, the more uniform the distribution is, the
+// best performance we will achieve and the longer the network will last."
+// Jain's fairness index makes that claim measurable:
+//
+//   J(x) = (Σ x_i)^2 / (n · Σ x_i^2)  ∈ [1/n, 1]
+//
+// 1 = perfectly even load; 1/n = one node carries everything. Figures
+// 7-12's sorted curves visualize the distribution; J summarizes it.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace p2p::stats {
+
+inline double jain_fairness(std::span<const double> values) noexcept {
+  if (values.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) return 1.0;  // all zero: trivially even
+  return (sum * sum) / (static_cast<double>(values.size()) * sum_sq);
+}
+
+}  // namespace p2p::stats

@@ -1,0 +1,41 @@
+// Fixed-bin histogram for distribution reporting (hop counts, latencies).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace p2p::stats {
+
+class Histogram {
+ public:
+  /// Bins of width `bin_width` starting at `lo`; values past the last bin
+  /// land in an overflow bucket, values below `lo` in an underflow bucket.
+  Histogram(double lo, double bin_width, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  std::uint64_t count() const noexcept { return total_; }
+  std::uint64_t bin_count(std::size_t i) const;
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::size_t bins() const noexcept { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+  /// Approximate quantile (linear within bins); q in [0,1].
+  double quantile(double q) const;
+
+  /// Multi-line ASCII rendering (for bench output).
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace p2p::stats

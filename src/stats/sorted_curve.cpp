@@ -1,0 +1,46 @@
+#include "stats/sorted_curve.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/assert.hpp"
+
+namespace p2p::stats {
+
+void SortedCurve::add_run(std::vector<double> per_node_counts) {
+  std::sort(per_node_counts.begin(), per_node_counts.end(),
+            std::greater<double>());
+  if (per_node_counts.size() > positions_.size()) {
+    positions_.resize(per_node_counts.size());
+  }
+  for (std::size_t i = 0; i < per_node_counts.size(); ++i) {
+    positions_[i].add(per_node_counts[i]);
+  }
+  ++runs_;
+}
+
+double SortedCurve::mean_at(std::size_t rank) const {
+  P2P_ASSERT(rank < positions_.size());
+  return positions_[rank].mean();
+}
+
+double SortedCurve::ci95_at(std::size_t rank) const {
+  P2P_ASSERT(rank < positions_.size());
+  return positions_[rank].ci95_halfwidth();
+}
+
+SortedCurve SortedCurve::restore(std::vector<RunningStat> positions,
+                                 std::size_t runs) {
+  SortedCurve curve;
+  curve.positions_ = std::move(positions);
+  curve.runs_ = runs;
+  return curve;
+}
+
+std::vector<double> SortedCurve::means() const {
+  std::vector<double> out(positions_.size());
+  for (std::size_t i = 0; i < positions_.size(); ++i) out[i] = positions_[i].mean();
+  return out;
+}
+
+}  // namespace p2p::stats

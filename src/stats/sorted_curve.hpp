@@ -1,0 +1,45 @@
+// Aggregation for the paper's "nodes decreasingly ordered by # of
+// received X" plots (Figures 7-12).
+//
+// Each run contributes one vector of per-node counts. Within a run the
+// vector is sorted descending (the x-axis is *rank*, not node identity);
+// across runs, position i is averaged — exactly how such curves are
+// produced from repeated randomized simulations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/running_stat.hpp"
+
+namespace p2p::stats {
+
+class SortedCurve {
+ public:
+  /// Add one run's per-node counts (any order; sorted internally).
+  void add_run(std::vector<double> per_node_counts);
+
+  std::size_t runs() const noexcept { return runs_; }
+  /// Number of rank positions (max across runs; shorter runs contribute
+  /// nothing at deep ranks rather than zeros).
+  std::size_t points() const noexcept { return positions_.size(); }
+
+  double mean_at(std::size_t rank) const;
+  double ci95_at(std::size_t rank) const;
+
+  std::vector<double> means() const;
+
+  /// Raw per-position stats (experiment cache serialization).
+  const std::vector<RunningStat>& positions() const noexcept {
+    return positions_;
+  }
+  /// Rebuild from serialized per-position stats.
+  static SortedCurve restore(std::vector<RunningStat> positions,
+                             std::size_t runs);
+
+ private:
+  std::vector<RunningStat> positions_;
+  std::size_t runs_ = 0;
+};
+
+}  // namespace p2p::stats

@@ -1,0 +1,86 @@
+#include <algorithm>
+#include "stats/table.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace p2p::stats {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  P2P_ASSERT(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  P2P_ASSERT(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row_values(const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (const double v : values) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    cells.push_back(os.str());
+  }
+  add_row(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::setw(static_cast<int>(widths[c])) << cells[c]
+         << (c + 1 < cells.size() ? "  " : "");
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+void Table::print_csv(std::ostream& os) const {
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << csv_escape(cells[c]) << (c + 1 < cells.size() ? "," : "");
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  print_csv(os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace p2p::stats

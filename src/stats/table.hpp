@@ -1,0 +1,36 @@
+// Tabular output: aligned text for terminals plus CSV for plotting.
+// Every figure-bench prints its series through one of these so the rows
+// the paper reports are regenerated in a uniform format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace p2p::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Add one row; size must match the header count.
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: formats doubles with fixed precision.
+  void add_row_values(const std::vector<double>& values, int precision = 4);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t cols() const noexcept { return headers_.size(); }
+
+  /// Aligned, human-readable rendering.
+  void print(std::ostream& os) const;
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  void print_csv(std::ostream& os) const;
+  /// Write CSV to a file; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace p2p::stats

@@ -1,0 +1,70 @@
+#include "trace/trace.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace p2p::trace {
+
+char event_code(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kTransmit: return 's';
+    case EventKind::kDeliver: return 'r';
+    case EventKind::kDrop: return 'd';
+  }
+  return '?';
+}
+
+void Writer::record(const Record& record) {
+  (*os_) << event_code(record.kind) << ' ' << record.time << ' '
+         << record.node << ' ';
+  if (record.peer == net::kBroadcast) {
+    (*os_) << "bcast";
+  } else {
+    (*os_) << record.peer;
+  }
+  (*os_) << ' ' << record.size_bytes << '\n';
+}
+
+bool Writer::parse_line(const std::string& line, Record* out) {
+  P2P_ASSERT(out != nullptr);
+  std::istringstream is(line);
+  char code = 0;
+  std::string peer;
+  if (!(is >> code >> out->time >> out->node >> peer >> out->size_bytes)) {
+    return false;
+  }
+  switch (code) {
+    case 's': out->kind = EventKind::kTransmit; break;
+    case 'r': out->kind = EventKind::kDeliver; break;
+    case 'd': out->kind = EventKind::kDrop; break;
+    default: return false;
+  }
+  if (peer == "bcast") {
+    out->peer = net::kBroadcast;
+  } else {
+    try {
+      out->peer = static_cast<net::NodeId>(std::stoul(peer));
+    } catch (...) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Counter::record(const Record& record) {
+  const auto k = static_cast<std::size_t>(record.kind);
+  ++totals_[k];
+  total_bytes_[k] += record.size_bytes;
+  if (record.node < per_node_.size()) {
+    ++per_node_[record.node].counts[k];
+  }
+}
+
+std::uint64_t Counter::node_count(net::NodeId node, EventKind kind) const {
+  P2P_ASSERT(node < per_node_.size());
+  return per_node_[node].counts[static_cast<std::size_t>(kind)];
+}
+
+}  // namespace p2p::trace

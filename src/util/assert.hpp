@@ -1,0 +1,36 @@
+// Assertion macros for programming-error checks.
+//
+// Recoverable conditions (bad input files, protocol violations from remote
+// peers, ...) are reported via status returns; P2P_ASSERT is strictly for
+// invariants whose violation means the program itself is wrong.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace p2p::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) noexcept {
+  std::fprintf(stderr, "p2pmanet assertion failed: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace p2p::util
+
+// Always-on assertion (simulation correctness beats the few ns it costs).
+#define P2P_ASSERT(expr)                                               \
+  ((expr) ? static_cast<void>(0)                                       \
+          : ::p2p::util::assert_fail(#expr, __FILE__, __LINE__, nullptr))
+
+#define P2P_ASSERT_MSG(expr, msg)                                      \
+  ((expr) ? static_cast<void>(0)                                       \
+          : ::p2p::util::assert_fail(#expr, __FILE__, __LINE__, (msg)))
+
+// Debug-only assertion for hot paths.
+#ifdef NDEBUG
+#define P2P_DASSERT(expr) static_cast<void>(0)
+#else
+#define P2P_DASSERT(expr) P2P_ASSERT(expr)
+#endif

@@ -1,0 +1,142 @@
+// Basic algorithm (§6.1.1): unilateral asymmetric references, fixed-radius
+// probing at a fixed interval, pong-only maintenance.
+#include <gtest/gtest.h>
+
+#include "p2p_test_world.hpp"
+
+namespace {
+
+using namespace p2ptest;
+using p2p::core::AlgorithmKind;
+using p2p::core::ConnKind;
+using p2p::core::MsgType;
+
+TEST(BasicAlg, TwoNodesReferenceEachOther) {
+  World world;
+  const auto a = world.add_node(50, 50);
+  const auto b = world.add_node(55, 50);
+  world.add_servent(a, AlgorithmKind::kBasic);
+  world.add_servent(b, AlgorithmKind::kBasic);
+  world.start_all();
+  world.sim().run_until(30.0);
+  // Both probed, both answered: each holds a reference to the other.
+  EXPECT_TRUE(world.connected(a, b));
+  EXPECT_TRUE(world.connected(b, a));
+  EXPECT_EQ(world.servent(a).connections().find(b)->kind, ConnKind::kBasic);
+}
+
+TEST(BasicAlg, RespectsMaxnconn) {
+  p2p::core::P2pParams params;
+  params.maxnconn = 2;
+  World world(params);
+  const auto ids = make_cluster(world, 6);
+  for (const auto id : ids) world.add_servent(id, AlgorithmKind::kBasic);
+  world.start_all();
+  world.sim().run_until(120.0);
+  for (const auto id : ids) {
+    EXPECT_LE(world.servent(id).connections().size(), 2U) << "node " << id;
+  }
+}
+
+TEST(BasicAlg, EveryListenerAnswersProbes) {
+  World world;
+  const auto ids = make_cluster(world, 4);
+  for (const auto id : ids) world.add_servent(id, AlgorithmKind::kBasic);
+  world.start_all();
+  world.sim().run_until(20.0);
+  // With everyone in range and probing, everyone received probes AND
+  // offers (offers even beyond capacity, since Basic answers blindly).
+  for (const auto id : ids) {
+    const auto& counters = world.servent(id).counters();
+    EXPECT_GT(counters.received_of(MsgType::kConnectProbe), 0U);
+    EXPECT_GT(counters.received_of(MsgType::kConnectOffer), 0U);
+  }
+}
+
+TEST(BasicAlg, KeepsProbingAtFixedIntervalWhileUnsatisfied) {
+  p2p::core::P2pParams params;
+  params.timer_initial = 10.0;
+  World world(params);
+  // A lone node can never fill its slots: it must keep probing forever at
+  // the fixed interval (no backoff in Basic).
+  const auto a = world.add_node(50, 50);
+  world.add_servent(a, AlgorithmKind::kBasic);
+  world.start_all();
+  world.sim().run_until(101.0);
+  const auto sent = world.servent(a).counters().sent_of(MsgType::kConnectProbe);
+  // One probe at start + one every 10 s.
+  EXPECT_GE(sent, 9U);
+  EXPECT_LE(sent, 12U);
+}
+
+TEST(BasicAlg, ProbeRadiusIsNhopsBasic) {
+  p2p::core::P2pParams params;
+  params.nhops_basic = 2;
+  World world(params);
+  const auto ids = make_line(world, 5);  // 8 m spacing: hop = index distance
+  for (const auto id : ids) world.add_servent(id, AlgorithmKind::kBasic);
+  world.start_all();
+  world.sim().run_until(60.0);
+  // Node 0's probes travel 2 hops: nodes 1,2 hear them, 3,4 never do.
+  EXPECT_GT(world.servent(ids[1]).counters().received_of(MsgType::kConnectProbe), 0U);
+  // Node 3 hears probes from 1,2,4,5 but node 0's never reach node 3 or 4;
+  // verify no reference to node 0 formed at distance 3+.
+  EXPECT_FALSE(world.connected(ids[0], ids[3]));
+  EXPECT_FALSE(world.connected(ids[0], ids[4]));
+  EXPECT_FALSE(world.connected(ids[3], ids[0]));
+}
+
+TEST(BasicAlg, DropsReferenceWhenPeerDies) {
+  World world;
+  const auto a = world.add_node(50, 50);
+  const auto b = world.add_node(55, 50);
+  world.add_servent(a, AlgorithmKind::kBasic);
+  world.add_servent(b, AlgorithmKind::kBasic);
+  world.start_all();
+  world.sim().run_until(30.0);
+  ASSERT_TRUE(world.connected(a, b));
+  world.network().set_failed(b, true);
+  // Pings go unanswered; after the pong timeout the reference dies.
+  world.sim().run_until(30.0 + world.p2p_params().ping_interval +
+                        world.p2p_params().pong_timeout + 65.0);
+  EXPECT_FALSE(world.connected(a, b));
+}
+
+TEST(BasicAlg, BothSidesPingTheirReferences) {
+  World world;
+  const auto a = world.add_node(50, 50);
+  const auto b = world.add_node(55, 50);
+  world.add_servent(a, AlgorithmKind::kBasic);
+  world.add_servent(b, AlgorithmKind::kBasic);
+  world.start_all();
+  world.sim().run_until(200.0);
+  // Asymmetric references: each node sends its own pings (the waste the
+  // Regular algorithm's improvement #3 removes).
+  EXPECT_GT(world.servent(a).counters().sent_of(MsgType::kPing), 0U);
+  EXPECT_GT(world.servent(b).counters().sent_of(MsgType::kPing), 0U);
+  EXPECT_GT(world.servent(a).counters().received_of(MsgType::kPong), 0U);
+  EXPECT_GT(world.servent(b).counters().received_of(MsgType::kPong), 0U);
+}
+
+TEST(BasicAlg, NoDistanceCheckKeepsFarConnections) {
+  // Basic has no MAXDIST rule: a reference stays alive while pongs flow,
+  // no matter how far the peer drifts (within flood reach for formation).
+  World world;
+  const auto a = world.add_node(5, 50);
+  // b starts adjacent, then walks 4 hops away (still routable via relays).
+  const auto b = world.add_node(std::make_unique<p2p::mobility::TraceModel>(
+      p2p::geo::Vec2{13.0, 50.0},
+      std::vector<p2p::mobility::TraceStep>{{40.0, {45.0, 50.0}, 5.0}}));
+  // Relay chain so AODV can still route after the move.
+  for (int i = 0; i < 5; ++i) world.add_node(13.0 + 8.0 * i, 50.0);
+  world.add_servent(a, AlgorithmKind::kBasic);
+  world.add_servent(b, AlgorithmKind::kBasic);
+  world.start_all();
+  world.sim().run_until(39.0);
+  ASSERT_TRUE(world.connected(a, b));
+  world.sim().run_until(400.0);
+  // 32 m apart = 4+ hops > MAXDIST, but Basic does not care.
+  EXPECT_TRUE(world.connected(a, b));
+}
+
+}  // namespace

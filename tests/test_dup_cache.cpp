@@ -1,0 +1,62 @@
+// DupCache: first-sighting semantics and TTL expiry.
+#include <gtest/gtest.h>
+
+#include "net/dup_cache.hpp"
+
+namespace {
+
+using p2p::net::DupCache;
+
+TEST(DupCache, FirstInsertIsFresh) {
+  DupCache cache(10.0);
+  EXPECT_TRUE(cache.insert(1, 100, 0.0));
+  EXPECT_TRUE(cache.contains(1, 100));
+}
+
+TEST(DupCache, SecondInsertIsDuplicate) {
+  DupCache cache(10.0);
+  EXPECT_TRUE(cache.insert(1, 100, 0.0));
+  EXPECT_FALSE(cache.insert(1, 100, 1.0));
+  EXPECT_FALSE(cache.insert(1, 100, 9.9));
+}
+
+TEST(DupCache, DistinguishesOriginsAndIds) {
+  DupCache cache(10.0);
+  EXPECT_TRUE(cache.insert(1, 100, 0.0));
+  EXPECT_TRUE(cache.insert(2, 100, 0.0));
+  EXPECT_TRUE(cache.insert(1, 101, 0.0));
+  EXPECT_FALSE(cache.insert(2, 100, 0.0));
+}
+
+TEST(DupCache, ExpiryAllowsReinsert) {
+  DupCache cache(10.0);
+  EXPECT_TRUE(cache.insert(1, 100, 0.0));
+  EXPECT_FALSE(cache.insert(1, 100, 9.99));
+  EXPECT_TRUE(cache.insert(1, 100, 10.0));  // ttl elapsed
+}
+
+TEST(DupCache, ExpiryIsPerEntry) {
+  DupCache cache(10.0);
+  cache.insert(1, 1, 0.0);
+  cache.insert(1, 2, 5.0);
+  EXPECT_TRUE(cache.insert(1, 1, 10.0));   // first expired
+  EXPECT_FALSE(cache.insert(1, 2, 10.0));  // second still fresh
+  EXPECT_TRUE(cache.insert(1, 2, 15.0));
+}
+
+TEST(DupCache, SizeReflectsLiveEntries) {
+  DupCache cache(10.0);
+  cache.insert(1, 1, 0.0);
+  cache.insert(1, 2, 0.0);
+  EXPECT_EQ(cache.size(), 2U);
+  cache.insert(1, 3, 20.0);  // expires the first two
+  EXPECT_EQ(cache.size(), 1U);
+}
+
+TEST(DupCache, ContainsDoesNotInsert) {
+  DupCache cache(10.0);
+  EXPECT_FALSE(cache.contains(5, 5));
+  EXPECT_TRUE(cache.insert(5, 5, 0.0));
+}
+
+}  // namespace

@@ -1,0 +1,160 @@
+// EventQueue: ordering, FIFO tie-breaking, cancellation, and a randomized
+// model check against a reference implementation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using p2p::sim::EventId;
+using p2p::sim::EventQueue;
+using p2p::sim::kTimeNever;
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0U);
+  EXPECT_EQ(queue.next_time(), kTimeNever);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.push(3.0, [&] { order.push_back(3); });
+  queue.push(1.0, [&] { order.push_back(1); });
+  queue.push(2.0, [&] { order.push_back(2); });
+  while (!queue.empty()) queue.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireInPushOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.push(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!queue.empty()) queue.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeReportsEarliestLiveEvent) {
+  EventQueue queue;
+  const EventId early = queue.push(1.0, [] {});
+  queue.push(2.0, [] {});
+  EXPECT_DOUBLE_EQ(queue.next_time(), 1.0);
+  queue.cancel(early);
+  EXPECT_DOUBLE_EQ(queue.next_time(), 2.0);
+}
+
+TEST(EventQueue, CancelReturnsTrueOnlyForLiveEvents) {
+  EventQueue queue;
+  const EventId id = queue.push(1.0, [] {});
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_FALSE(queue.cancel(id));  // already cancelled
+  EXPECT_FALSE(queue.cancel(p2p::sim::kInvalidEventId));
+  EXPECT_FALSE(queue.cancel(99999));
+}
+
+TEST(EventQueue, CancelledEventNeverPops) {
+  EventQueue queue;
+  bool fired = false;
+  const EventId id = queue.push(1.0, [&] { fired = true; });
+  queue.push(2.0, [] {});
+  queue.cancel(id);
+  EXPECT_EQ(queue.size(), 1U);
+  while (!queue.empty()) queue.pop().fn();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop) {
+  EventQueue queue;
+  const EventId id = queue.push(1.0, [] {});
+  queue.pop();
+  EXPECT_FALSE(queue.cancel(id));
+}
+
+TEST(EventQueue, IdsAreUniqueAndNonZero) {
+  EventQueue queue;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) ids.push_back(queue.push(1.0, [] {}));
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end());
+  EXPECT_NE(ids.front(), p2p::sim::kInvalidEventId);
+}
+
+TEST(EventQueue, SizeCountsOnlyLiveEvents) {
+  EventQueue queue;
+  const EventId a = queue.push(1.0, [] {});
+  queue.push(2.0, [] {});
+  EXPECT_EQ(queue.size(), 2U);
+  queue.cancel(a);
+  EXPECT_EQ(queue.size(), 1U);
+  queue.pop();
+  EXPECT_EQ(queue.size(), 0U);
+}
+
+TEST(EventQueue, TotalScheduledIsMonotonic) {
+  EventQueue queue;
+  EXPECT_EQ(queue.total_scheduled(), 0U);
+  queue.push(1.0, [] {});
+  const EventId b = queue.push(1.0, [] {});
+  queue.cancel(b);
+  EXPECT_EQ(queue.total_scheduled(), 2U);
+}
+
+// Property: under random interleavings of push/cancel/pop, the queue
+// behaves exactly like a sorted reference model.
+class EventQueueModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueModelTest, MatchesReferenceModel) {
+  p2p::sim::RngStream rng(GetParam());
+  EventQueue queue;
+  // Reference: map from (time, seq) to id, mirroring live events.
+  std::map<std::pair<double, EventId>, EventId> model;
+  std::vector<EventId> live_ids;
+
+  for (int step = 0; step < 2000; ++step) {
+    const double roll = rng.uniform01();
+    if (roll < 0.55) {
+      const double t = rng.uniform(0.0, 100.0);
+      const EventId id = queue.push(t, [] {});
+      model.emplace(std::make_pair(t, id), id);
+      live_ids.push_back(id);
+    } else if (roll < 0.75 && !live_ids.empty()) {
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live_ids.size()) - 1));
+      const EventId id = live_ids[pick];
+      const bool was_live =
+          std::any_of(model.begin(), model.end(),
+                      [id](const auto& kv) { return kv.second == id; });
+      EXPECT_EQ(queue.cancel(id), was_live);
+      for (auto it = model.begin(); it != model.end(); ++it) {
+        if (it->second == id) {
+          model.erase(it);
+          break;
+        }
+      }
+    } else if (!model.empty()) {
+      ASSERT_FALSE(queue.empty());
+      const auto popped = queue.pop();
+      const auto expect = model.begin();
+      EXPECT_DOUBLE_EQ(popped.time, expect->first.first);
+      EXPECT_EQ(popped.id, expect->second);
+      model.erase(expect);
+    }
+    ASSERT_EQ(queue.size(), model.size());
+    if (!model.empty()) {
+      EXPECT_DOUBLE_EQ(queue.next_time(), model.begin()->first.first);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueModelTest,
+                         ::testing::Values(1, 2, 3, 7, 42, 1234));
+
+}  // namespace

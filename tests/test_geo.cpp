@@ -1,0 +1,57 @@
+// geo: Vec2 arithmetic and Region semantics.
+#include <gtest/gtest.h>
+
+#include "geo/vec2.hpp"
+
+namespace {
+
+using p2p::geo::distance;
+using p2p::geo::distance2;
+using p2p::geo::Region;
+using p2p::geo::Vec2;
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_DOUBLE_EQ(a.dot(b), 1.0);
+}
+
+TEST(Vec2, Norms) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(Vec2{}.norm(), 0.0);
+}
+
+TEST(Vec2, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance2({1, 1}, {2, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(distance({5, 5}, {5, 5}), 0.0);
+}
+
+TEST(Region, Contains) {
+  const Region r{100.0, 50.0};
+  EXPECT_TRUE(r.contains({0.0, 0.0}));
+  EXPECT_TRUE(r.contains({100.0, 50.0}));
+  EXPECT_TRUE(r.contains({50.0, 25.0}));
+  EXPECT_FALSE(r.contains({-0.1, 10.0}));
+  EXPECT_FALSE(r.contains({10.0, 50.1}));
+  EXPECT_FALSE(r.contains({100.1, 0.0}));
+}
+
+TEST(Region, Area) {
+  EXPECT_DOUBLE_EQ((Region{100.0, 100.0}).area(), 10000.0);
+  EXPECT_DOUBLE_EQ((Region{0.0, 5.0}).area(), 0.0);
+}
+
+TEST(Region, ClampPullsPointsInside) {
+  const Region r{100.0, 50.0};
+  EXPECT_EQ(r.clamp({-5.0, 25.0}), (Vec2{0.0, 25.0}));
+  EXPECT_EQ(r.clamp({120.0, 60.0}), (Vec2{100.0, 50.0}));
+  EXPECT_EQ(r.clamp({30.0, 20.0}), (Vec2{30.0, 20.0}));
+}
+
+}  // namespace

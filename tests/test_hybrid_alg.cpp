@@ -1,0 +1,179 @@
+// Hybrid algorithm (§6.2): qualifier-driven master election, slave
+// capacity, master-master links, and the reconfiguration rules.
+#include <gtest/gtest.h>
+
+#include "p2p_test_world.hpp"
+
+namespace {
+
+using namespace p2ptest;
+using p2p::core::AlgorithmKind;
+using p2p::core::ConnKind;
+using p2p::core::HybridState;
+
+TEST(HybridAlg, StrongerQualifierBecomesMaster) {
+  World world;
+  const auto a = world.add_node(50, 50);
+  const auto b = world.add_node(55, 50);
+  world.add_servent(a, AlgorithmKind::kHybrid, /*qualifier=*/10);
+  world.add_servent(b, AlgorithmKind::kHybrid, /*qualifier=*/1);
+  world.start_all();
+  world.sim().run_until(120.0);
+  EXPECT_EQ(world.hybrid(a).state(), HybridState::kMaster);
+  EXPECT_EQ(world.hybrid(b).state(), HybridState::kSlave);
+  ASSERT_TRUE(world.symmetric(a, b));
+  EXPECT_EQ(world.servent(a).connections().find(b)->kind, ConnKind::kSlave);
+  EXPECT_EQ(world.servent(b).connections().find(a)->kind, ConnKind::kSlave);
+  // The slave initiated (it asked to join) and therefore pings.
+  EXPECT_TRUE(world.servent(b).connections().find(a)->initiator);
+}
+
+TEST(HybridAlg, QualifierTieBrokenByNodeId) {
+  World world;
+  const auto a = world.add_node(50, 50);
+  const auto b = world.add_node(55, 50);
+  world.add_servent(a, AlgorithmKind::kHybrid, 5);
+  world.add_servent(b, AlgorithmKind::kHybrid, 5);
+  world.start_all();
+  world.sim().run_until(120.0);
+  // Higher node id wins ties; exactly one master, one slave.
+  EXPECT_EQ(world.hybrid(b).state(), HybridState::kMaster);
+  EXPECT_EQ(world.hybrid(a).state(), HybridState::kSlave);
+}
+
+TEST(HybridAlg, MaxnslavesIsEnforced) {
+  p2p::core::P2pParams params;
+  params.maxnslaves = 2;
+  World world(params);
+  const auto ids = make_cluster(world, 6);
+  // One strong node, five weak ones.
+  world.add_servent(ids[0], AlgorithmKind::kHybrid, 100);
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    world.add_servent(ids[i], AlgorithmKind::kHybrid,
+                      static_cast<std::uint32_t>(i));
+  }
+  world.start_all();
+  world.sim().run_until(300.0);
+  EXPECT_LE(world.hybrid(ids[0]).slave_count(), 2U);
+}
+
+TEST(HybridAlg, LonelyNodeEntitlesItselfMaster) {
+  World world;
+  const auto a = world.add_node(50, 50);
+  world.add_servent(a, AlgorithmKind::kHybrid, 7);
+  world.start_all();
+  world.sim().run_until(200.0);
+  EXPECT_EQ(world.hybrid(a).state(), HybridState::kMaster);
+}
+
+TEST(HybridAlg, MastersInterconnectWithMasterLinks) {
+  p2p::core::P2pParams params;
+  params.maxnslaves = 1;
+  World world(params);
+  // Two clusters 2 hops apart; each elects a master, masters then link up.
+  const auto a1 = world.add_node(40, 50);
+  const auto a2 = world.add_node(44, 50);
+  const auto b1 = world.add_node(56, 50);
+  const auto b2 = world.add_node(60, 50);
+  world.add_node(50, 50);  // relay (not in p2p)
+  world.add_servent(a1, AlgorithmKind::kHybrid, 100);
+  world.add_servent(a2, AlgorithmKind::kHybrid, 1);
+  world.add_servent(b1, AlgorithmKind::kHybrid, 90);
+  world.add_servent(b2, AlgorithmKind::kHybrid, 2);
+  world.start_all();
+  world.sim().run_until(600.0);
+  EXPECT_EQ(world.hybrid(a1).state(), HybridState::kMaster);
+  EXPECT_EQ(world.hybrid(b1).state(), HybridState::kMaster);
+  EXPECT_EQ(world.servent(a1).connections().count(ConnKind::kMaster), 1U);
+  EXPECT_TRUE(world.symmetric(a1, b1));
+}
+
+TEST(HybridAlg, MasterWithoutSlavesRevertsToInitial) {
+  p2p::core::P2pParams params;
+  params.timer_initial = 5.0;    // capture cycle: floods at ~0, 5, 10 -> master ~15
+  params.maxtimer_master = 60.0;
+  World world(params);
+  // A lone node cycles initial -> master -> (no slaves for 60 s) ->
+  // initial -> ... We verify the revert by watching capture floods resume.
+  const auto a = world.add_node(10, 10);
+  world.add_servent(a, AlgorithmKind::kHybrid, 5);
+  world.start_all();
+  world.sim().run_until(20.0);
+  EXPECT_EQ(world.hybrid(a).state(), HybridState::kMaster);
+  const auto captures_as_master =
+      world.servent(a).counters().sent_of(p2p::core::MsgType::kCapture);
+  world.sim().run_until(400.0);
+  const auto captures_later =
+      world.servent(a).counters().sent_of(p2p::core::MsgType::kCapture);
+  EXPECT_GT(captures_later, captures_as_master);
+}
+
+TEST(HybridAlg, SlaveLosingItsMasterRejoins) {
+  World world;
+  const auto master1 = world.add_node(50, 50);
+  const auto master2 = world.add_node(56, 50);
+  const auto weak = world.add_node(53, 53);
+  world.add_servent(master1, AlgorithmKind::kHybrid, 100);
+  world.add_servent(master2, AlgorithmKind::kHybrid, 90);
+  world.add_servent(weak, AlgorithmKind::kHybrid, 1);
+  world.start_all();
+  world.sim().run_until(200.0);
+  ASSERT_EQ(world.hybrid(weak).state(), HybridState::kSlave);
+  const auto first_master = world.servent(weak).connections().peers()[0];
+  world.network().set_failed(first_master, true);
+  world.sim().run_until(1200.0);
+  // The slave fell back to initial and attached to the surviving strong
+  // node (which may itself have cycled initial->master meanwhile).
+  EXPECT_EQ(world.hybrid(weak).state(), HybridState::kSlave);
+  const auto peers = world.servent(weak).connections().peers();
+  ASSERT_EQ(peers.size(), 1U);
+  EXPECT_NE(peers[0], first_master);
+}
+
+TEST(HybridAlg, SlavesTalkOnlyToTheirMaster) {
+  World world;
+  const auto ids = make_cluster(world, 5);
+  world.add_servent(ids[0], AlgorithmKind::kHybrid, 100);
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    world.add_servent(ids[i], AlgorithmKind::kHybrid,
+                      static_cast<std::uint32_t>(i));
+  }
+  world.start_all();
+  world.sim().run_until(400.0);
+  for (const auto id : ids) {
+    if (world.hybrid(id).state() != HybridState::kSlave) continue;
+    const auto& conns = world.servent(id).connections();
+    EXPECT_EQ(conns.size(), 1U) << "slave " << id << " has extra links";
+    EXPECT_EQ(conns.count(ConnKind::kSlave), conns.size());
+  }
+}
+
+TEST(HybridAlg, RolesPartitionTheCluster) {
+  World world;
+  const auto ids = make_cluster(world, 8);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    world.add_servent(ids[i], AlgorithmKind::kHybrid,
+                      static_cast<std::uint32_t>(i + 1));
+  }
+  world.start_all();
+  world.sim().run_until(600.0);
+  std::size_t masters = 0, slaves = 0, initial = 0;
+  for (const auto id : ids) {
+    switch (world.hybrid(id).state()) {
+      case HybridState::kMaster: ++masters; break;
+      case HybridState::kSlave: ++slaves; break;
+      default: ++initial; break;
+    }
+  }
+  EXPECT_GE(masters, 1U);
+  EXPECT_GE(slaves, 3U);  // 8 nodes, <= 3 slaves per master
+  // Slaves' masters must actually be masters.
+  for (const auto id : ids) {
+    if (world.hybrid(id).state() != HybridState::kSlave) continue;
+    const auto master = world.servent(id).connections().peers()[0];
+    EXPECT_EQ(world.hybrid(master).state(), HybridState::kMaster)
+        << "slave " << id << " attached to a non-master";
+  }
+}
+
+}  // namespace

@@ -1,0 +1,305 @@
+// Network: unit-disk delivery, unicast/broadcast semantics, loss, energy
+// charging, node failure, half-duplex serialization, and snapshots.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mobility/model.hpp"
+#include "mobility/trace.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace p2p;
+using net::Frame;
+using net::FramePayload;
+using net::Network;
+using net::NetworkParams;
+using net::NodeId;
+
+struct TestPayload final : FramePayload {
+  int tag = 0;
+  explicit TestPayload(int t) : tag(t) {}
+};
+
+struct Recorder final : net::LinkListener {
+  std::vector<Frame> frames;
+  void on_frame(const Frame& frame) override { frames.push_back(frame); }
+};
+
+struct Fixture {
+  sim::Simulator sim;
+  NetworkParams params;
+  std::unique_ptr<Network> net;
+  std::vector<std::unique_ptr<Recorder>> recorders;
+
+  explicit Fixture(double range = 10.0) {
+    params.range = range;
+    params.mac.jitter_max_s = 0.0;  // deterministic timing for tests
+    net = std::make_unique<Network>(sim, params, sim::RngStream(1));
+  }
+
+  NodeId add(double x, double y) {
+    const NodeId id =
+        net->add_node(std::make_unique<mobility::StaticModel>(geo::Vec2{x, y}));
+    recorders.push_back(std::make_unique<Recorder>());
+    net->attach_listener(id, recorders.back().get());
+    return id;
+  }
+
+  std::size_t received(NodeId id) const {
+    return recorders[id]->frames.size();
+  }
+};
+
+TEST(Network, InRangeIsSymmetricAndDistanceBased) {
+  Fixture f;
+  const NodeId a = f.add(0, 0);
+  const NodeId b = f.add(9.9, 0);
+  const NodeId c = f.add(19.0, 0);
+  EXPECT_TRUE(f.net->in_range(a, b));
+  EXPECT_TRUE(f.net->in_range(b, a));
+  EXPECT_FALSE(f.net->in_range(a, c));   // 19 m apart
+  EXPECT_TRUE(f.net->in_range(b, c));    // 9.1 m apart
+  EXPECT_TRUE(f.net->in_range(a, a));
+}
+
+TEST(Network, BroadcastReachesOnlyInRangeNodes) {
+  Fixture f;
+  const NodeId a = f.add(0, 0);
+  const NodeId b = f.add(5, 0);
+  const NodeId c = f.add(9, 0);
+  const NodeId d = f.add(15, 0);
+  f.net->broadcast(a, std::make_shared<const TestPayload>(1), 64);
+  f.sim.run();
+  EXPECT_EQ(f.received(a), 0U);  // no self-delivery
+  EXPECT_EQ(f.received(b), 1U);
+  EXPECT_EQ(f.received(c), 1U);
+  EXPECT_EQ(f.received(d), 0U);
+  EXPECT_EQ(f.net->frames_transmitted(), 1U);
+  EXPECT_EQ(f.net->frames_delivered(), 2U);
+}
+
+TEST(Network, BroadcastFrameCarriesSenderAndPayload) {
+  Fixture f;
+  const NodeId a = f.add(0, 0);
+  const NodeId b = f.add(5, 0);
+  f.net->broadcast(a, std::make_shared<const TestPayload>(42), 64);
+  f.sim.run();
+  ASSERT_EQ(f.received(b), 1U);
+  const Frame& frame = f.recorders[b]->frames[0];
+  EXPECT_EQ(frame.sender, a);
+  EXPECT_EQ(frame.link_dst, net::kBroadcast);
+  EXPECT_EQ(frame.size_bytes, 64U);
+  const auto* payload = dynamic_cast<const TestPayload*>(frame.payload.get());
+  ASSERT_NE(payload, nullptr);
+  EXPECT_EQ(payload->tag, 42);
+}
+
+TEST(Network, UnicastReachesOnlyTheAddressee) {
+  Fixture f;
+  const NodeId a = f.add(0, 0);
+  const NodeId b = f.add(5, 0);
+  const NodeId c = f.add(5, 1);
+  f.net->unicast(a, b, std::make_shared<const TestPayload>(1), 32);
+  f.sim.run();
+  EXPECT_EQ(f.received(b), 1U);
+  EXPECT_EQ(f.received(c), 0U);
+  EXPECT_EQ(f.recorders[b]->frames[0].link_dst, b);
+}
+
+TEST(Network, UnicastOutOfRangeIsSilentlyLost) {
+  Fixture f;
+  const NodeId a = f.add(0, 0);
+  const NodeId b = f.add(50, 0);
+  f.net->unicast(a, b, std::make_shared<const TestPayload>(1), 32);
+  f.sim.run();
+  EXPECT_EQ(f.received(b), 0U);
+  EXPECT_EQ(f.net->frames_lost(), 1U);
+  // The sender still paid transmit energy (radios don't know).
+  EXPECT_EQ(f.net->energy(a).frames_sent(), 1U);
+}
+
+TEST(Network, DeliveryIsDelayedNotImmediate) {
+  Fixture f;
+  const NodeId a = f.add(0, 0);
+  const NodeId b = f.add(5, 0);
+  f.net->broadcast(a, std::make_shared<const TestPayload>(1), 64);
+  EXPECT_EQ(f.received(b), 0U);  // nothing until events run
+  f.sim.run();
+  EXPECT_EQ(f.received(b), 1U);
+  EXPECT_GT(f.sim.now(), 0.0);
+}
+
+TEST(Network, HalfDuplexSerializesTransmissions) {
+  Fixture f;
+  const NodeId a = f.add(0, 0);
+  f.add(5, 0);
+  // Two back-to-back broadcasts: second arrival strictly after first.
+  f.net->broadcast(a, std::make_shared<const TestPayload>(1), 1500);
+  f.net->broadcast(a, std::make_shared<const TestPayload>(2), 1500);
+  std::vector<double> arrivals;
+  // Run and capture arrival times via the simulator clock at delivery.
+  f.sim.run();
+  ASSERT_EQ(f.received(1), 2U);
+  const double airtime = net::tx_duration(f.params.mac, 1500);
+  // Second frame cannot start before the first finishes.
+  EXPECT_GE(f.sim.now(), 2 * airtime);
+}
+
+TEST(Network, LossProbabilityOneDropsEverything) {
+  sim::Simulator sim;
+  NetworkParams params;
+  params.mac.loss_probability = 1.0;
+  Network network(sim, params, sim::RngStream(1));
+  const NodeId a =
+      network.add_node(std::make_unique<mobility::StaticModel>(geo::Vec2{0, 0}));
+  const NodeId b =
+      network.add_node(std::make_unique<mobility::StaticModel>(geo::Vec2{5, 0}));
+  Recorder recorder;
+  network.attach_listener(b, &recorder);
+  network.broadcast(a, std::make_shared<const TestPayload>(1), 64);
+  network.unicast(a, b, std::make_shared<const TestPayload>(2), 64);
+  sim.run();
+  EXPECT_TRUE(recorder.frames.empty());
+  EXPECT_EQ(network.frames_lost(), 2U);
+}
+
+TEST(Network, FailedNodeNeitherSendsNorReceives) {
+  Fixture f;
+  const NodeId a = f.add(0, 0);
+  const NodeId b = f.add(5, 0);
+  f.net->set_failed(b, true);
+  EXPECT_FALSE(f.net->alive(b));
+  f.net->broadcast(a, std::make_shared<const TestPayload>(1), 64);
+  f.sim.run();
+  EXPECT_EQ(f.received(b), 0U);
+
+  f.net->broadcast(b, std::make_shared<const TestPayload>(2), 64);
+  f.sim.run();
+  EXPECT_EQ(f.received(a), 0U);
+
+  f.net->set_failed(b, false);
+  f.net->broadcast(a, std::make_shared<const TestPayload>(3), 64);
+  f.sim.run();
+  EXPECT_EQ(f.received(b), 1U);
+}
+
+TEST(Network, EnergyChargedForTxAndRx) {
+  Fixture f;
+  const NodeId a = f.add(0, 0);
+  const NodeId b = f.add(5, 0);
+  f.net->broadcast(a, std::make_shared<const TestPayload>(1), 100);
+  f.sim.run();
+  EXPECT_GT(f.net->energy(a).consumed_j(), 0.0);
+  EXPECT_GT(f.net->energy(b).consumed_j(), 0.0);
+  EXPECT_EQ(f.net->energy(a).bytes_sent(), 100U);
+  EXPECT_EQ(f.net->energy(b).bytes_received(), 100U);
+}
+
+TEST(Network, NeighborsOfMatchesInRange) {
+  Fixture f;
+  const NodeId a = f.add(0, 0);
+  f.add(3, 0);
+  f.add(0, 9);
+  f.add(30, 30);
+  std::vector<NodeId> neighbors;
+  f.net->neighbors_of(a, &neighbors);
+  EXPECT_EQ(neighbors.size(), 2U);
+}
+
+TEST(Network, AdjacencySnapshotIsSymmetricUnitDisk) {
+  Fixture f;
+  const NodeId a = f.add(0, 0);
+  const NodeId b = f.add(6, 0);
+  const NodeId c = f.add(12, 0);
+  const auto adj = f.net->adjacency_snapshot();
+  ASSERT_EQ(adj.size(), 3U);
+  EXPECT_EQ(adj[a], std::vector<NodeId>{b});
+  EXPECT_EQ(adj[c], std::vector<NodeId>{b});
+  EXPECT_EQ(adj[b].size(), 2U);
+}
+
+TEST(Network, AdjacencySnapshotExcludesDeadNodes) {
+  Fixture f;
+  f.add(0, 0);
+  const NodeId b = f.add(6, 0);
+  f.net->set_failed(b, true);
+  const auto adj = f.net->adjacency_snapshot();
+  EXPECT_TRUE(adj[0].empty());
+  EXPECT_TRUE(adj[b].empty());
+}
+
+TEST(Network, MultipleListenersAllReceive) {
+  Fixture f;
+  const NodeId a = f.add(0, 0);
+  const NodeId b = f.add(5, 0);
+  Recorder extra;
+  f.net->attach_listener(b, &extra);
+  f.net->broadcast(a, std::make_shared<const TestPayload>(1), 64);
+  f.sim.run();
+  EXPECT_EQ(f.received(b), 1U);
+  EXPECT_EQ(extra.frames.size(), 1U);
+}
+
+TEST(Network, GrayZoneProbabilityModel) {
+  net::MacParams mac;
+  mac.gray_zone_fraction = 0.3;  // soft edge from 7 m to 10 m
+  EXPECT_DOUBLE_EQ(net::gray_zone_delivery_probability(mac, 3.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(net::gray_zone_delivery_probability(mac, 7.0, 10.0), 1.0);
+  EXPECT_NEAR(net::gray_zone_delivery_probability(mac, 8.5, 10.0), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(net::gray_zone_delivery_probability(mac, 10.0, 10.0), 0.0);
+  mac.gray_zone_fraction = 0.0;  // hard disk
+  EXPECT_DOUBLE_EQ(net::gray_zone_delivery_probability(mac, 9.99, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(net::gray_zone_delivery_probability(mac, 10.01, 10.0), 0.0);
+}
+
+TEST(Network, GrayZoneDropsSomeEdgeFramesButNotInnerOnes) {
+  sim::Simulator sim;
+  NetworkParams params;
+  params.mac.jitter_max_s = 0.0;
+  params.mac.gray_zone_fraction = 0.4;  // soft edge from 6 m outward
+  Network network(sim, params, sim::RngStream(3));
+  const NodeId a = network.add_node(
+      std::make_unique<mobility::StaticModel>(geo::Vec2{0, 0}));
+  const NodeId inner = network.add_node(
+      std::make_unique<mobility::StaticModel>(geo::Vec2{4, 0}));
+  const NodeId edge = network.add_node(
+      std::make_unique<mobility::StaticModel>(geo::Vec2{9, 0}));
+  Recorder inner_rec, edge_rec;
+  network.attach_listener(inner, &inner_rec);
+  network.attach_listener(edge, &edge_rec);
+  const int kFrames = 200;
+  for (int i = 0; i < kFrames; ++i) {
+    network.broadcast(a, std::make_shared<const TestPayload>(i), 32);
+  }
+  sim.run();
+  // Inside the solid zone: everything arrives. On the edge (p = 0.25):
+  // a clear minority arrives.
+  EXPECT_EQ(inner_rec.frames.size(), static_cast<std::size_t>(kFrames));
+  EXPECT_GT(edge_rec.frames.size(), 0U);
+  EXPECT_LT(edge_rec.frames.size(), static_cast<std::size_t>(kFrames) / 2);
+  EXPECT_GT(network.frames_lost(), 0U);
+}
+
+TEST(Network, MovingNodesChangeConnectivity) {
+  sim::Simulator sim;
+  NetworkParams params;
+  params.mac.jitter_max_s = 0.0;
+  params.index_tolerance_s = 0.1;
+  Network network(sim, params, sim::RngStream(1));
+  // b walks away from a at 1 m/s starting in range.
+  const NodeId a =
+      network.add_node(std::make_unique<mobility::StaticModel>(geo::Vec2{0, 0}));
+  auto trace = std::make_unique<mobility::TraceModel>(
+      geo::Vec2{5.0, 0.0},
+      std::vector<mobility::TraceStep>{{0.0, {100.0, 0.0}, 1.0}});
+  const NodeId b = network.add_node(std::move(trace));
+  EXPECT_TRUE(network.in_range(a, b));
+  sim.run_until(20.0);  // b is now at x=25
+  EXPECT_FALSE(network.in_range(a, b));
+}
+
+}  // namespace

@@ -1,0 +1,87 @@
+// ProgressiveSearch — the nhops/timer cycle every improved algorithm
+// shares (paper fig. 2/3/4 control flow).
+#include <gtest/gtest.h>
+
+#include "core/progressive.hpp"
+
+namespace {
+
+using p2p::core::P2pParams;
+using p2p::core::ProgressiveSearch;
+
+TEST(ProgressiveSearch, CyclesThroughNhopsValues) {
+  P2pParams params;  // nhops_initial=2, maxnhops=6
+  ProgressiveSearch search(params);
+  // Sequence: 2, 4, 6, 0 (backoff), 2, 4, 6, 0, ...
+  EXPECT_EQ(search.advance().flood_hops, 2);
+  EXPECT_EQ(search.advance().flood_hops, 4);
+  EXPECT_EQ(search.advance().flood_hops, 6);
+  EXPECT_EQ(search.advance().flood_hops, 0);
+  EXPECT_EQ(search.advance().flood_hops, 2);
+}
+
+TEST(ProgressiveSearch, ProbeStepsWaitTheCurrentTimer) {
+  P2pParams params;
+  params.timer_initial = 30.0;
+  ProgressiveSearch search(params);
+  EXPECT_DOUBLE_EQ(search.advance().wait, 30.0);  // nhops=2
+  EXPECT_DOUBLE_EQ(search.advance().wait, 30.0);  // nhops=4
+  EXPECT_DOUBLE_EQ(search.advance().wait, 30.0);  // nhops=6
+}
+
+TEST(ProgressiveSearch, BackoffDoublesTimerUpToMaxtimer) {
+  P2pParams params;
+  params.timer_initial = 10.0;
+  params.maxtimer = 40.0;
+  ProgressiveSearch search(params);
+  for (int i = 0; i < 3; ++i) search.advance();  // 2, 4, 6
+  const auto backoff1 = search.advance();        // wrap
+  EXPECT_EQ(backoff1.flood_hops, 0);
+  EXPECT_DOUBLE_EQ(backoff1.wait, 0.0);  // restart immediately
+  EXPECT_DOUBLE_EQ(search.timer(), 20.0);
+  for (int i = 0; i < 3; ++i) search.advance();
+  search.advance();  // second wrap
+  EXPECT_DOUBLE_EQ(search.timer(), 40.0);
+  for (int i = 0; i < 3; ++i) search.advance();
+  search.advance();  // third wrap: capped
+  EXPECT_DOUBLE_EQ(search.timer(), 40.0);
+}
+
+TEST(ProgressiveSearch, SuccessResetsTimerButNotPhase) {
+  P2pParams params;
+  params.timer_initial = 10.0;
+  params.maxtimer = 160.0;
+  ProgressiveSearch search(params);
+  for (int i = 0; i < 4; ++i) search.advance();  // one full cycle, timer 20
+  EXPECT_DOUBLE_EQ(search.timer(), 20.0);
+  const int nhops_before = search.nhops();
+  search.on_connection_established();
+  EXPECT_DOUBLE_EQ(search.timer(), 10.0);        // paper: reset on success
+  EXPECT_EQ(search.nhops(), nhops_before);       // cycle position retained
+}
+
+TEST(ProgressiveSearch, ResetRestartsEverything) {
+  P2pParams params;
+  ProgressiveSearch search(params);
+  for (int i = 0; i < 5; ++i) search.advance();
+  search.reset();
+  EXPECT_EQ(search.nhops(), params.nhops_initial);
+  EXPECT_DOUBLE_EQ(search.timer(), params.timer_initial);
+  EXPECT_EQ(search.advance().flood_hops, 2);
+}
+
+TEST(ProgressiveSearch, HonorsCustomRadiusParameters) {
+  P2pParams params;
+  params.nhops_initial = 1;
+  params.maxnhops = 5;
+  ProgressiveSearch search(params);
+  // (1, 3, 5, 0, 2, ...) — the paper's formula (nhops+2) mod (MAXNHOPS+2)
+  // re-enters at 2 after a wrap, regardless of an odd initial value.
+  EXPECT_EQ(search.advance().flood_hops, 1);
+  EXPECT_EQ(search.advance().flood_hops, 3);
+  EXPECT_EQ(search.advance().flood_hops, 5);
+  EXPECT_EQ(search.advance().flood_hops, 0);
+  EXPECT_EQ(search.advance().flood_hops, 2);
+}
+
+}  // namespace

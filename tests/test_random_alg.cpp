@@ -1,0 +1,148 @@
+// Random algorithm (§6.1.4): the reserved long-link slot, farthest-
+// responder selection, and replacement after loss.
+#include <gtest/gtest.h>
+
+#include "p2p_test_world.hpp"
+
+namespace {
+
+using namespace p2ptest;
+using p2p::core::AlgorithmKind;
+using p2p::core::ConnKind;
+
+TEST(RandomAlg, EstablishesARandomConnection) {
+  World world;
+  const auto ids = make_line(world, 5);
+  for (const auto id : ids) world.add_servent(id, AlgorithmKind::kRandom);
+  world.start_all();
+  world.sim().run_until(300.0);
+  std::size_t random_links = 0;
+  for (const auto id : ids) {
+    random_links += world.servent(id).connections().count(ConnKind::kRandom);
+  }
+  EXPECT_GT(random_links, 0U);
+}
+
+TEST(RandomAlg, RandomLinkPrefersTheFarthestResponder) {
+  // One seeker at the head of a line; responders at 1..4 hops. The random
+  // probe radius always covers the whole line (nhops_initial=2 ->
+  // randhops in [2, 12]), and the farthest responder must win the slot.
+  p2p::core::P2pParams params;
+  params.maxnconn = 1;  // only the random slot exists (maxnconn-1 == 0)
+  World world(params);
+  const auto ids = make_line(world, 5);
+  for (const auto id : ids) world.add_servent(id, AlgorithmKind::kRandom);
+  // Only the head actively starts; others respond but never probe (they
+  // start too, but with maxnconn=1 every node only wants a random link).
+  world.start_all();
+  world.sim().run_until(120.0);
+  const auto& head = world.servent(ids[0]).connections();
+  ASSERT_GE(head.size(), 1U);
+  // The head's random link must span more than one hop: with everyone
+  // answering, a 1-hop neighbor can only win if nothing farther answered.
+  bool has_multi_hop_link = false;
+  for (const auto peer : head.peers()) {
+    if (peer != ids[1]) has_multi_hop_link = true;
+  }
+  EXPECT_TRUE(has_multi_hop_link)
+      << "random link stuck at the nearest neighbor";
+}
+
+TEST(RandomAlg, RegularSlotsAreCappedAtMaxnconnMinusOne) {
+  World world;  // maxnconn = 3 -> at most 2 regular links initiated
+  const auto ids = make_cluster(world, 8);
+  for (const auto id : ids) world.add_servent(id, AlgorithmKind::kRandom);
+  world.start_all();
+  world.sim().run_until(400.0);
+  for (const auto id : ids) {
+    const auto& conns = world.servent(id).connections();
+    EXPECT_LE(conns.size(), 3U);
+    EXPECT_LE(conns.count(ConnKind::kRandom), 1U) << "node " << id;
+  }
+}
+
+TEST(RandomAlg, ReplacesLostRandomConnection) {
+  p2p::core::P2pParams params;
+  params.maxnconn = 1;
+  World world(params);
+  const auto a = world.add_node(50, 50);
+  const auto b = world.add_node(56, 50);
+  const auto c = world.add_node(50, 56);
+  for (const auto id : {a, b, c}) {
+    world.add_servent(id, AlgorithmKind::kRandom);
+  }
+  world.start_all();
+  world.sim().run_until(120.0);
+  ASSERT_GE(world.servent(a).connections().size(), 1U);
+  const auto first_peer = world.servent(a).connections().peers()[0];
+  world.network().set_failed(first_peer, true);
+  world.sim().run_until(800.0);
+  // "whenever it goes down, it must be replaced by another random
+  // connection": a found the other node.
+  const auto peers = world.servent(a).connections().peers();
+  ASSERT_EQ(peers.size(), 1U);
+  EXPECT_NE(peers[0], first_peer);
+  EXPECT_EQ(world.servent(a).connections().find(peers[0])->kind,
+            ConnKind::kRandom);
+}
+
+TEST(RandomAlg, RandomLinkToleratesTwiceMaxdist) {
+  // A random link at distance d (maxdist < d <= 2*maxdist) must survive,
+  // while a regular link at that distance would die.
+  p2p::core::P2pParams params;
+  params.maxdist = 2;
+  params.maxnconn = 1;  // random slot only
+  params.ping_interval = 10.0;
+  World world(params);
+  const auto ids = make_line(world, 5);  // head to tail: 4 hops
+  world.add_servent(ids[0], AlgorithmKind::kRandom);
+  world.add_servent(ids[4], AlgorithmKind::kRandom);
+  world.start_all();
+  world.sim().run_until(300.0);
+  // 4 hops > maxdist(2) but <= 2*maxdist(4): the link survives pings.
+  EXPECT_TRUE(world.connected(ids[0], ids[4]) ||
+              world.connected(ids[4], ids[0]));
+}
+
+TEST(RandomAlg, NodeWithFullSlotsStopsProbingForRandomLink) {
+  // Regression: a node whose MAXNCONN slots are occupied (possibly by
+  // inbound links, which the responder stores as regular) must not keep
+  // flooding random probes it can never act on.
+  p2p::core::P2pParams params;
+  params.maxnconn = 1;
+  World world(params);
+  const auto a = world.add_node(50, 50);
+  const auto b = world.add_node(55, 50);
+  world.add_servent(a, AlgorithmKind::kRandom);
+  world.add_servent(b, AlgorithmKind::kRandom);
+  world.start_all();
+  world.sim().run_until(300.0);
+  ASSERT_TRUE(world.symmetric(a, b));
+  // Both nodes are at capacity; probing must cease on both sides.
+  const auto probes_a_300 =
+      world.servent(a).counters().sent_of(p2p::core::MsgType::kConnectProbe);
+  const auto probes_b_300 =
+      world.servent(b).counters().sent_of(p2p::core::MsgType::kConnectProbe);
+  world.sim().run_until(1500.0);
+  const auto probes_a_late =
+      world.servent(a).counters().sent_of(p2p::core::MsgType::kConnectProbe);
+  const auto probes_b_late =
+      world.servent(b).counters().sent_of(p2p::core::MsgType::kConnectProbe);
+  EXPECT_LE(probes_a_late - probes_a_300, 3U);
+  EXPECT_LE(probes_b_late - probes_b_300, 3U);
+}
+
+TEST(RandomAlg, FallsBackToRegularBehaviorForFirstSlots) {
+  World world;
+  const auto a = world.add_node(50, 50);
+  const auto b = world.add_node(55, 50);
+  world.add_servent(a, AlgorithmKind::kRandom);
+  world.add_servent(b, AlgorithmKind::kRandom);
+  world.start_all();
+  world.sim().run_until(120.0);
+  // With only one potential peer, the pair connects (regular or random
+  // slot, depending on which phase won) and stays symmetric.
+  EXPECT_TRUE(world.symmetric(a, b));
+}
+
+}  // namespace

@@ -1,0 +1,187 @@
+// RNG streams: determinism, independence, ranges, and distribution sanity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace {
+
+using p2p::sim::fnv1a;
+using p2p::sim::RngManager;
+using p2p::sim::RngStream;
+using p2p::sim::splitmix64;
+
+TEST(Splitmix, IsDeterministicAndAvalanching) {
+  EXPECT_EQ(splitmix64(1), splitmix64(1));
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+  // Single-bit input changes flip many output bits.
+  const auto diff = splitmix64(0x1000) ^ splitmix64(0x1001);
+  EXPECT_GE(__builtin_popcountll(diff), 16);
+}
+
+TEST(Fnv1a, DistinguishesStrings) {
+  EXPECT_EQ(fnv1a("mobility"), fnv1a("mobility"));
+  EXPECT_NE(fnv1a("mobility"), fnv1a("mac"));
+  EXPECT_NE(fnv1a(""), fnv1a("a"));
+}
+
+TEST(RngStream, SameSeedSameSequence) {
+  RngStream a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+  }
+}
+
+TEST(RngStream, DifferentSeedsDiverge) {
+  RngStream a(123), b(124);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform01() == b.uniform01()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngStream, Uniform01InRange) {
+  RngStream rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngStream, UniformRespectsBounds) {
+  RngStream rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngStream, UniformIntCoversInclusiveRange) {
+  RngStream rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(1, 6));
+  EXPECT_EQ(seen.size(), 6U);
+  EXPECT_EQ(*seen.begin(), 1);
+  EXPECT_EQ(*seen.rbegin(), 6);
+}
+
+TEST(RngStream, UniformIntDegenerateRange) {
+  RngStream rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(RngStream, Uniform01MeanIsNearHalf) {
+  RngStream rng(99);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngStream, ExponentialHasRequestedMean) {
+  RngStream rng(99);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(RngStream, ChanceExtremes) {
+  RngStream rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngStream, ShuffleProducesPermutation) {
+  RngStream rng(11);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+}
+
+TEST(RngStream, ShuffleOfEmptyAndSingleton) {
+  RngStream rng(11);
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{7};
+  rng.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{7});
+}
+
+TEST(RngManager, NamedStreamsAreReproducible) {
+  const RngManager manager(42);
+  auto a1 = manager.stream("mobility");
+  auto a2 = manager.stream("mobility");
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a1.uniform01(), a2.uniform01());
+  }
+}
+
+TEST(RngManager, DifferentNamesGiveIndependentStreams) {
+  const RngManager manager(42);
+  auto a = manager.stream("mobility");
+  auto b = manager.stream("mac");
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform01() == b.uniform01()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngManager, IndexedStreamsDifferPerIndex) {
+  const RngManager manager(42);
+  auto a = manager.stream("mobility", 0);
+  auto b = manager.stream("mobility", 1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform01() == b.uniform01()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngManager, MasterSeedChangesEverything) {
+  auto a = RngManager(1).stream("x");
+  auto b = RngManager(2).stream("x");
+  EXPECT_NE(a.uniform01(), b.uniform01());
+}
+
+// Property: adding a new named consumer must not perturb existing streams
+// (the reason we derive streams by name instead of sharing one engine).
+class RngIsolationTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngIsolationTest, StreamsAreIsolatedFromEachOther) {
+  const RngManager manager(GetParam());
+  auto reference = manager.stream("workload");
+  std::vector<double> expected;
+  for (int i = 0; i < 50; ++i) expected.push_back(reference.uniform01());
+
+  // Interleave draws from other streams; the "workload" stream re-derived
+  // afterwards must produce the identical sequence.
+  auto noise1 = manager.stream("noise1");
+  auto noise2 = manager.stream("noise2", 17);
+  for (int i = 0; i < 1000; ++i) {
+    noise1.uniform01();
+    noise2.uniform_int(0, 100);
+  }
+  auto again = manager.stream("workload");
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(again.uniform01(), expected[static_cast<std::size_t>(i)]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngIsolationTest,
+                         ::testing::Values(1, 33, 2026));
+
+}  // namespace

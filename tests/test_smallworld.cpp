@@ -1,0 +1,106 @@
+// Watts-Strogatz generator and the small-world transition the paper's
+// Random algorithm targets (§6.1.2).
+#include <gtest/gtest.h>
+
+#include "graph/metrics.hpp"
+#include "graph/watts_strogatz.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace p2p::graph;
+
+TEST(WattsStrogatz, LatticeStructure) {
+  const Graph g = ring_lattice(20, 4);
+  EXPECT_EQ(g.order(), 20U);
+  EXPECT_EQ(g.edge_count(), 40U);  // n*k/2
+  for (Vertex v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4U);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(0, 19));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(WattsStrogatz, LatticeClusteringMatchesTheory) {
+  // C(lattice, k) = 3(k-2) / 4(k-1).
+  const Graph g = ring_lattice(60, 6);
+  EXPECT_NEAR(clustering_coefficient(g), 3.0 * 4.0 / (4.0 * 5.0), 1e-9);
+}
+
+TEST(WattsStrogatz, BetaZeroIsTheLattice) {
+  p2p::sim::RngStream rng(1);
+  const Graph lattice = ring_lattice(30, 4);
+  const Graph ws = watts_strogatz(30, 4, 0.0, rng);
+  EXPECT_EQ(ws.edge_count(), lattice.edge_count());
+  for (Vertex v = 0; v < 30; ++v) {
+    EXPECT_EQ(ws.degree(v), lattice.degree(v));
+  }
+}
+
+TEST(WattsStrogatz, EdgeCountIsPreservedUnderRewiring) {
+  p2p::sim::RngStream rng(7);
+  for (const double beta : {0.05, 0.3, 1.0}) {
+    const Graph ws = watts_strogatz(50, 4, beta, rng);
+    EXPECT_EQ(ws.edge_count(), 100U) << "beta " << beta;
+  }
+}
+
+TEST(WattsStrogatz, SmallBetaShortensPathsButKeepsClustering) {
+  // The defining small-world transition: at beta ~ 0.1 the path length has
+  // collapsed toward the random-graph value while clustering is still
+  // close to the lattice's ("little changes ... are sufficient to achieve
+  // short global pathlengths", paper §6.1.2).
+  p2p::sim::RngStream rng(42);
+  const std::size_t n = 200, k = 6;
+  const Graph lattice = ring_lattice(n, k);
+  const Graph ws = watts_strogatz(n, k, 0.1, rng);
+
+  const double l_lattice = characteristic_path_length(lattice);
+  const double l_ws = characteristic_path_length(ws);
+  const double c_lattice = clustering_coefficient(lattice);
+  const double c_ws = clustering_coefficient(ws);
+
+  EXPECT_LT(l_ws, 0.6 * l_lattice);         // paths collapsed
+  EXPECT_GT(c_ws, 0.6 * c_lattice);         // clustering largely intact
+}
+
+TEST(WattsStrogatz, FullRewireApproachesRandomGraphPathLength) {
+  p2p::sim::RngStream rng(11);
+  const std::size_t n = 200, k = 6;
+  const Graph ws = watts_strogatz(n, k, 1.0, rng);
+  const auto m = analyze(ws);
+  // log n / log k ≈ 2.96 for (200, 6); allow slack for finite size and the
+  // surviving lattice edges.
+  EXPECT_LT(m.path_length, 1.6 * random_graph_path_length(n, k));
+  EXPECT_LT(m.clustering, 0.2);
+}
+
+TEST(WattsStrogatz, DeterministicPerSeed) {
+  p2p::sim::RngStream rng1(5), rng2(5);
+  const Graph a = watts_strogatz(40, 4, 0.3, rng1);
+  const Graph b = watts_strogatz(40, 4, 0.3, rng2);
+  for (Vertex v = 0; v < 40; ++v) {
+    EXPECT_EQ(a.neighbors(v), b.neighbors(v));
+  }
+}
+
+class BetaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BetaSweep, MetricsAreMonotoneInExpectation) {
+  // Property over beta: both C and L lie between the random and lattice
+  // extremes (sanity envelope; exact monotonicity needs averaging).
+  p2p::sim::RngStream rng(99);
+  const std::size_t n = 150, k = 6;
+  const Graph lattice = ring_lattice(n, k);
+  const Graph ws = watts_strogatz(n, k, GetParam(), rng);
+  const double c = clustering_coefficient(ws);
+  const double l = characteristic_path_length(ws);
+  EXPECT_LE(c, clustering_coefficient(lattice) + 1e-9);
+  EXPECT_GE(l, 1.0);
+  EXPECT_LE(l, characteristic_path_length(lattice) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, BetaSweep,
+                         ::testing::Values(0.0, 0.01, 0.1, 0.5, 1.0));
+
+}  // namespace

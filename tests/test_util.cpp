@@ -1,0 +1,153 @@
+// util: string helpers and the Config store.
+#include <gtest/gtest.h>
+
+#include "util/config.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace p2p::util;
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim("\t\n x \r "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Strings, ParseInt) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-17"), -17);
+  EXPECT_EQ(parse_int("  8  "), 8);
+  EXPECT_FALSE(parse_int("x"));
+  EXPECT_FALSE(parse_int("4.2"));
+  EXPECT_FALSE(parse_int(""));
+  EXPECT_FALSE(parse_int("12abc"));
+}
+
+TEST(Strings, ParseDouble) {
+  EXPECT_DOUBLE_EQ(*parse_double("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(*parse_double("-2e3"), -2000.0);
+  EXPECT_DOUBLE_EQ(*parse_double("7"), 7.0);
+  EXPECT_FALSE(parse_double("abc"));
+  EXPECT_FALSE(parse_double(""));
+  EXPECT_FALSE(parse_double("1.0x"));
+}
+
+TEST(Strings, ParseBool) {
+  EXPECT_EQ(parse_bool("true"), true);
+  EXPECT_EQ(parse_bool("YES"), true);
+  EXPECT_EQ(parse_bool("1"), true);
+  EXPECT_EQ(parse_bool("on"), true);
+  EXPECT_EQ(parse_bool("false"), false);
+  EXPECT_EQ(parse_bool("No"), false);
+  EXPECT_EQ(parse_bool("0"), false);
+  EXPECT_EQ(parse_bool("off"), false);
+  EXPECT_FALSE(parse_bool("maybe"));
+}
+
+TEST(Strings, ToLowerAndJoin) {
+  EXPECT_EQ(to_lower("AbC-12"), "abc-12");
+  EXPECT_EQ(join(std::vector<int>{1, 2, 3}, ", "), "1, 2, 3");
+  EXPECT_EQ(join(std::vector<int>{}, ","), "");
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(format("x=%d y=%.1f", 3, 2.5), "x=3 y=2.5");
+  EXPECT_EQ(format("%s", "plain"), "plain");
+  EXPECT_EQ(format("empty"), "empty");
+}
+
+TEST(Config, SetAndTypedGet) {
+  Config config;
+  config.set("a", "42");
+  config.set("b", "3.5");
+  config.set("c", "true");
+  config.set("d", "text");
+  EXPECT_EQ(config.get_int("a"), 42);
+  EXPECT_DOUBLE_EQ(*config.get_double("b"), 3.5);
+  EXPECT_EQ(config.get_bool("c"), true);
+  EXPECT_EQ(config.get_string("d"), "text");
+  EXPECT_FALSE(config.get_int("missing"));
+  EXPECT_FALSE(config.get_int("d"));  // not a number
+}
+
+TEST(Config, Fallbacks) {
+  Config config;
+  config.set("x", "5");
+  EXPECT_EQ(config.get_int_or("x", 9), 5);
+  EXPECT_EQ(config.get_int_or("y", 9), 9);
+  EXPECT_DOUBLE_EQ(config.get_double_or("y", 1.5), 1.5);
+  EXPECT_EQ(config.get_bool_or("y", true), true);
+  EXPECT_EQ(config.get_string_or("y", "dflt"), "dflt");
+}
+
+TEST(Config, ParseIniBasics) {
+  Config config;
+  std::string error;
+  ASSERT_TRUE(config.parse_ini("a = 1\n# comment\n; also comment\n\nb=two\n",
+                               &error))
+      << error;
+  EXPECT_EQ(config.get_int("a"), 1);
+  EXPECT_EQ(config.get_string("b"), "two");
+  EXPECT_EQ(config.size(), 2U);
+}
+
+TEST(Config, ParseIniSections) {
+  Config config;
+  std::string error;
+  ASSERT_TRUE(config.parse_ini("top=1\n[net]\nrange = 10\n[p2p]\nttl=6\n",
+                               &error))
+      << error;
+  EXPECT_EQ(config.get_int("top"), 1);
+  EXPECT_EQ(config.get_int("net.range"), 10);
+  EXPECT_EQ(config.get_int("p2p.ttl"), 6);
+}
+
+TEST(Config, ParseIniRejectsMalformedLines) {
+  Config config;
+  std::string error;
+  EXPECT_FALSE(config.parse_ini("novalue\n", &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  EXPECT_FALSE(config.parse_ini("[unclosed\n", &error));
+  EXPECT_FALSE(config.parse_ini("=5\n", &error));
+}
+
+TEST(Config, ParseOverride) {
+  Config config;
+  std::string error;
+  ASSERT_TRUE(config.parse_override("num_nodes=150", &error)) << error;
+  EXPECT_EQ(config.get_int("num_nodes"), 150);
+  ASSERT_TRUE(config.parse_override(" spaced = value ", &error));
+  EXPECT_EQ(config.get_string("spaced"), "value");
+  EXPECT_FALSE(config.parse_override("noequals", &error));
+  EXPECT_FALSE(config.parse_override("=bare", &error));
+}
+
+TEST(Config, KeysSortedAndContains) {
+  Config config;
+  config.set("zebra", "1");
+  config.set("alpha", "2");
+  EXPECT_TRUE(config.contains("zebra"));
+  EXPECT_FALSE(config.contains("missing"));
+  EXPECT_EQ(config.keys(), (std::vector<std::string>{"alpha", "zebra"}));
+}
+
+TEST(Config, LaterSetWins) {
+  Config config;
+  config.set("k", "1");
+  config.set("k", "2");
+  EXPECT_EQ(config.get_int("k"), 2);
+  EXPECT_EQ(config.size(), 1U);
+}
+
+}  // namespace
