@@ -1,6 +1,7 @@
 // Shared scaffolding for the figure-reproduction benches.
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -9,6 +10,7 @@
 #include "core/factory.hpp"
 #include "scenario/cache.hpp"
 #include "scenario/experiment.hpp"
+#include "scenario/telemetry.hpp"
 #include "stats/fairness.hpp"
 #include "stats/table.hpp"
 #include "util/config.hpp"
@@ -55,21 +57,45 @@ inline void print_header(const char* figure, const char* what,
 }
 
 /// Run (or load) the experiment for one algorithm under the paper setup.
+/// Set P2P_BENCH_TELEMETRY=1 to log per-seed wall time and events/sec
+/// (the same data lands in the JSONL manifest next to the cache entry).
 inline scenario::ExperimentResult run_algorithm(
     scenario::Parameters params, core::AlgorithmKind kind,
     std::size_t seeds) {
   params.algorithm = kind;
   std::fprintf(stderr, "[bench] %s n=%zu: ", core::algorithm_name(kind),
                params.num_nodes);
-  bool cached = true;
+  const bool verbose = std::getenv("P2P_BENCH_TELEMETRY") != nullptr;
+  scenario::RunTelemetry telemetry;
+  std::atomic<std::size_t> completed{0};
+  std::atomic<bool> cached{true};
+  const auto on_run_done = [&](std::size_t seed_index, std::size_t total) {
+    cached.store(false);
+    const std::size_t done = completed.fetch_add(1) + 1;
+    if (verbose) {
+      const auto& t = telemetry.per_seed()[seed_index];
+      std::fprintf(stderr, "\n[bench]   seed %llu (%zu/%zu): %.2f s, %.0f events/s",
+                   static_cast<unsigned long long>(t.seed), done, total,
+                   t.wall_seconds, t.events_per_sec);
+    } else {
+      std::fprintf(stderr, "%zu/%zu ", done, total);
+    }
+    std::fflush(stderr);
+  };
   const auto result = scenario::run_experiment_cached(
-      params, seeds, /*threads=*/0,
-      [&cached](std::size_t done, std::size_t total) {
-        cached = false;
-        std::fprintf(stderr, "%zu/%zu ", done, total);
-        std::fflush(stderr);
-      });
-  std::fprintf(stderr, cached ? "(cached)\n" : "done\n");
+      params, seeds, /*threads=*/0, on_run_done, &telemetry);
+  if (cached.load()) {
+    std::fprintf(stderr, "(cached)\n");
+  } else if (verbose) {
+    std::fprintf(stderr,
+                 "\n[bench]   total %.2f s on %zu threads, %.0f events/s "
+                 "(manifest: %s)\n",
+                 telemetry.total_wall_seconds(), telemetry.threads_used(),
+                 telemetry.aggregate_events_per_sec(),
+                 scenario::manifest_path(params, seeds).c_str());
+  } else {
+    std::fprintf(stderr, "done\n");
+  }
   return result;
 }
 

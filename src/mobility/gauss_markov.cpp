@@ -9,10 +9,7 @@ namespace p2p::mobility {
 namespace {
 constexpr double kPi = 3.14159265358979323846;
 
-double gaussian(sim::RngStream& rng) {
-  std::normal_distribution<double> dist(0.0, 1.0);
-  return dist(rng.engine());
-}
+double gaussian(sim::RngStream& rng) { return rng.normal(0.0, 1.0); }
 }  // namespace
 
 GaussMarkov::GaussMarkov(const GaussMarkovParams& params, sim::RngStream rng)

@@ -12,13 +12,18 @@ void DupCache::expire(sim::SimTime now) {
 bool DupCache::insert(NodeId origin, std::uint64_t id, sim::SimTime now) {
   expire(now);
   const Key k = key(origin, id);
-  if (!seen_.insert(k).second) return false;
+  if (!seen_.emplace(k, now).second) return false;
   fifo_.emplace_back(now, k);
   return true;
 }
 
-bool DupCache::contains(NodeId origin, std::uint64_t id) const {
-  return seen_.find(key(origin, id)) != seen_.end();
+bool DupCache::contains(NodeId origin, std::uint64_t id,
+                        sim::SimTime now) const {
+  // Expiry is lazy (insert-driven), so an entry may still be physically
+  // present after its TTL; check the recorded insertion time instead of
+  // mere presence.
+  const auto it = seen_.find(key(origin, id));
+  return it != seen_.end() && it->second + ttl_ > now;
 }
 
 }  // namespace p2p::net

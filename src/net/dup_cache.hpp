@@ -9,7 +9,7 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_set>
+#include <unordered_map>
 
 #include "net/types.hpp"
 #include "sim/time.hpp"
@@ -27,7 +27,11 @@ class DupCache {
   /// sighting (caller should process/forward), false if it is a duplicate.
   bool insert(NodeId origin, std::uint64_t id, sim::SimTime now);
 
-  bool contains(NodeId origin, std::uint64_t id) const;
+  /// Whether (origin, id) was inserted within the last `ttl` before `now`.
+  /// Entries past their TTL are reported absent even if lazy expiry has
+  /// not physically removed them yet — so ID reuse after the TTL is never
+  /// suppressed by a stale sighting.
+  bool contains(NodeId origin, std::uint64_t id, sim::SimTime now) const;
 
   std::size_t size() const noexcept { return seen_.size(); }
 
@@ -39,7 +43,7 @@ class DupCache {
   void expire(sim::SimTime now);
 
   sim::SimTime ttl_;
-  std::unordered_set<Key> seen_;
+  std::unordered_map<Key, sim::SimTime> seen_;  // key -> insertion time
   std::deque<std::pair<sim::SimTime, Key>> fifo_;  // insertion-ordered for expiry
 };
 

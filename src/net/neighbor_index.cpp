@@ -35,10 +35,7 @@ std::size_t NeighborIndex::cell_of(geo::Vec2 p) const noexcept {
 
 void NeighborIndex::refresh(sim::SimTime now,
                             const std::vector<geo::Vec2>& positions) {
-  if (ever_built_ && now - built_at_ < tolerance_ &&
-      positions.size() == indexed_positions_.size()) {
-    return;
-  }
+  if (is_fresh(now, positions.size())) return;
   for (auto& cell : cells_) cell.clear();
   indexed_positions_ = positions;
   for (NodeId i = 0; i < positions.size(); ++i) {

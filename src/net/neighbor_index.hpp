@@ -24,6 +24,15 @@ class NeighborIndex {
   NeighborIndex(geo::Region region, double range, double tolerance_s,
                 double max_speed);
 
+  /// Whether the index built for `n` nodes is still within tolerance at
+  /// `now` (i.e. refresh() would be a no-op). The single source of truth
+  /// for staleness — callers that want to skip the O(n) position sampling
+  /// a refresh needs should probe this instead of re-deriving the check.
+  bool is_fresh(sim::SimTime now, std::size_t n) const noexcept {
+    return ever_built_ && now - built_at_ < tolerance_ &&
+           n == indexed_positions_.size();
+  }
+
   /// Rebuild if older than the tolerance. `positions[i]` is node i's
   /// position at time `now`.
   void refresh(sim::SimTime now, const std::vector<geo::Vec2>& positions);

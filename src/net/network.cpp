@@ -65,11 +65,7 @@ bool Network::in_range(NodeId a, NodeId b) {
 void Network::refresh_index() {
   // NeighborIndex decides internally whether it is stale; we pay the O(n)
   // position sampling only when it actually rebuilds, so probe first.
-  if (index_.ever_built() &&
-      sim_->now() - index_.built_at() < params_.index_tolerance_s &&
-      scratch_positions_.size() == nodes_.size()) {
-    return;
-  }
+  if (index_.is_fresh(sim_->now(), nodes_.size())) return;
   scratch_positions_.resize(nodes_.size());
   for (NodeId i = 0; i < nodes_.size(); ++i) {
     scratch_positions_[i] = nodes_[i].mobility->position_at(sim_->now());

@@ -1,5 +1,7 @@
 #include "scenario/cache.hpp"
 
+#include <unistd.h>
+
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -61,8 +63,9 @@ std::string canonical_parameters(const Parameters& p, std::size_t num_seeds) {
   std::ostringstream os;
   os.precision(17);
   // Bump this tag whenever a code change alters simulation behavior; it
-  // invalidates every cached experiment.
-  os << "code-v5\n";
+  // invalidates every cached experiment. v6: portable in-house RNG
+  // distributions replaced the std::*_distribution draws.
+  os << "code-v6\n";
   put(os, "area_width", p.area_width);
   put(os, "area_height", p.area_height);
   put(os, "radio_range", p.radio_range);
@@ -158,14 +161,38 @@ std::string cache_path(const Parameters& params, std::size_t num_seeds) {
 }
 }  // namespace
 
+std::string manifest_path(const Parameters& params, std::size_t num_seeds) {
+  return cache_directory() + "/" + cache_key(params, num_seeds) +
+         ".runs.jsonl";
+}
+
 bool load_cached(const Parameters& params, std::size_t num_seeds,
                  ExperimentResult* result) {
-  std::ifstream is(cache_path(params, num_seeds));
-  if (!is) return false;
-  std::string magic;
-  std::getline(is, magic);
-  if (magic != "p2pmanet-cache v1") return false;
+  std::ifstream file(cache_path(params, num_seeds));
+  if (!file) return false;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const std::string contents = buffer.str();
 
+  // Header line: "p2pmanet-cache v2 <fnv1a-hex-of-payload>". A truncated,
+  // torn, or otherwise corrupted entry fails the checksum and is treated
+  // as a miss, never a crash.
+  const std::size_t header_end = contents.find('\n');
+  if (header_end == std::string::npos) return false;
+  std::istringstream header(contents.substr(0, header_end));
+  std::string magic, version, checksum_hex;
+  if (!(header >> magic >> version >> checksum_hex)) return false;
+  if (magic != "p2pmanet-cache" || version != "v2") return false;
+  const std::string payload = contents.substr(header_end + 1);
+  std::uint64_t expected = 0;
+  try {
+    expected = std::stoull(checksum_hex, nullptr, 16);
+  } catch (...) {
+    return false;
+  }
+  if (sim::fnv1a(payload) != expected) return false;
+
+  std::istringstream is(payload);
   ExperimentResult r;
   std::string tag;
   std::size_t runs = 0;
@@ -206,10 +233,8 @@ void store_cached(const Parameters& params, std::size_t num_seeds,
                   const ExperimentResult& result) {
   std::error_code ec;
   std::filesystem::create_directories(cache_directory(), ec);
-  std::ofstream os(cache_path(params, num_seeds));
-  if (!os) return;
+  std::ostringstream os;
   os.precision(17);
-  os << "p2pmanet-cache v1\n";
   os << "runs " << result.runs << '\n';
   write_curve(os, "connect", result.connect_curve);
   write_curve(os, "ping", result.ping_curve);
@@ -234,15 +259,45 @@ void store_cached(const Parameters& params, std::size_t num_seeds,
     write_stat(os, *stat);
     os << '\n';
   }
+
+  // Atomic publish: write to a process-private temp file, then rename into
+  // place. Concurrent bench processes racing on the same key each publish
+  // a complete entry; readers never observe a torn file. The payload
+  // checksum in the header catches any other corruption (crash mid-write
+  // on a filesystem without atomic rename, manual edits, ...).
+  const std::string payload = os.str();
+  const std::string path = cache_path(params, num_seeds);
+  const std::string tmp =
+      path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream file(tmp, std::ios::trunc);
+    if (!file) return;
+    file << "p2pmanet-cache v2 " << std::hex << sim::fnv1a(payload) << '\n'
+         << payload;
+    if (!file) {
+      file.close();
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) std::filesystem::remove(tmp, ec);
 }
 
-ExperimentResult run_experiment_cached(
-    const Parameters& params, std::size_t num_seeds, std::size_t threads,
-    const std::function<void(std::size_t, std::size_t)>& on_run_done) {
+ExperimentResult run_experiment_cached(const Parameters& params,
+                                       std::size_t num_seeds,
+                                       std::size_t threads,
+                                       const SeedDoneFn& on_run_done,
+                                       RunTelemetry* telemetry) {
   ExperimentResult result;
   if (load_cached(params, num_seeds, &result)) return result;
-  result = run_experiment(params, num_seeds, threads, on_run_done);
+  RunTelemetry local;
+  RunTelemetry* tel = telemetry != nullptr ? telemetry : &local;
+  result = run_experiment(params, num_seeds, threads, on_run_done, tel);
   store_cached(params, num_seeds, result);
+  // Run manifest rides along with the cache entry (best-effort).
+  tel->set_cache_key(cache_key(params, num_seeds));
+  tel->write_jsonl(manifest_path(params, num_seeds));
   return result;
 }
 

@@ -28,17 +28,28 @@ std::string cache_key(const Parameters& params, std::size_t num_seeds);
 /// Directory used by the cache (created on store).
 std::string cache_directory();
 
-/// Load a previously stored result. Returns false on miss or parse error.
+/// Path of the JSONL run manifest written next to a cache entry.
+std::string manifest_path(const Parameters& params, std::size_t num_seeds);
+
+/// Load a previously stored result. Returns false on miss, checksum
+/// mismatch (torn/truncated file), or parse error — never throws.
 bool load_cached(const Parameters& params, std::size_t num_seeds,
                  ExperimentResult* result);
 
-/// Persist a result. Best-effort: failures only mean recomputation later.
+/// Persist a result. Atomic (temp file + rename) so concurrent bench
+/// processes cannot tear an entry; best-effort: failures only mean
+/// recomputation later.
 void store_cached(const Parameters& params, std::size_t num_seeds,
                   const ExperimentResult& result);
 
-/// run_experiment with the cache wrapped around it; prints nothing.
-ExperimentResult run_experiment_cached(
-    const Parameters& params, std::size_t num_seeds, std::size_t threads = 0,
-    const std::function<void(std::size_t, std::size_t)>& on_run_done = {});
+/// run_experiment with the cache wrapped around it; prints nothing. On a
+/// cache miss the freshly computed experiment's telemetry manifest is
+/// written next to the entry (see manifest_path); pass `telemetry` to
+/// also receive it in-process.
+ExperimentResult run_experiment_cached(const Parameters& params,
+                                       std::size_t num_seeds,
+                                       std::size_t threads = 0,
+                                       const SeedDoneFn& on_run_done = {},
+                                       RunTelemetry* telemetry = nullptr);
 
 }  // namespace p2p::scenario

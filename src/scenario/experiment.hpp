@@ -5,14 +5,26 @@
 // aggregate: sorted per-node curves for the Figures 7-12 message plots,
 // per-file-rank means for Figures 5-6, plus network/overlay summaries
 // with 95% confidence intervals.
+//
+// Determinism contract: workers deposit each seed's RunResult in a slot
+// indexed by seed offset, and aggregation happens single-threaded in seed
+// order once the pool drains — so `threads=N` is bit-identical to
+// `threads=1` for every field of ExperimentResult. A worker-thread
+// exception is captured, the pool is drained, and the failure is
+// rethrown on the caller thread as an ExperimentError naming the seed
+// (instead of std::terminate). See docs/determinism.md.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "scenario/parameters.hpp"
 #include "scenario/run.hpp"
+#include "scenario/telemetry.hpp"
 #include "stats/running_stat.hpp"
 #include "stats/sorted_curve.hpp"
 
@@ -50,14 +62,49 @@ struct ExperimentResult {
   stats::RunningStat connections_closed;
 };
 
+/// Thrown on the caller thread when a repetition fails inside a worker.
+class ExperimentError : public std::runtime_error {
+ public:
+  ExperimentError(std::size_t seed_index, std::uint64_t seed,
+                  const std::string& what)
+      : std::runtime_error("seed " + std::to_string(seed) + " (index " +
+                           std::to_string(seed_index) + ") failed: " + what),
+        seed_index_(seed_index),
+        seed_(seed) {}
+
+  std::size_t seed_index() const noexcept { return seed_index_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  std::size_t seed_index_;
+  std::uint64_t seed_;
+};
+
+/// Per-seed completion callback. Fires on the worker thread that finished
+/// the repetition, with no lock held; `seed_index` identifies the seed
+/// (base.seed + seed_index), so indices arrive in completion order, not
+/// seed order, and each index is reported exactly once.
+using SeedDoneFn =
+    std::function<void(std::size_t seed_index, std::size_t total)>;
+
 /// Run `num_seeds` repetitions of `base` with seeds base.seed, base.seed+1,
-/// ..., on up to `threads` workers (0 = hardware concurrency). The
-/// optional `on_run_done` callback fires from worker threads under the
-/// aggregation lock (safe for progress printing).
-ExperimentResult run_experiment(
-    const Parameters& base, std::size_t num_seeds, std::size_t threads = 0,
-    const std::function<void(std::size_t done, std::size_t total)>&
-        on_run_done = {});
+/// ..., on up to `threads` workers (0 = hardware concurrency). Results are
+/// aggregated in seed order regardless of thread count (bit-identical to a
+/// sequential run). Throws ExperimentError if any repetition throws. If
+/// `telemetry` is non-null it is reset and filled with per-seed timings.
+ExperimentResult run_experiment(const Parameters& base, std::size_t num_seeds,
+                                std::size_t threads = 0,
+                                const SeedDoneFn& on_run_done = {},
+                                RunTelemetry* telemetry = nullptr);
+
+/// run_experiment with the single-repetition body replaced by `run_fn`
+/// (called with the per-seed Parameters). Test seam for crash isolation
+/// and scheduling behavior; run_experiment forwards to this with the real
+/// SimulationRun body.
+ExperimentResult run_experiment_with(
+    const Parameters& base, std::size_t num_seeds, std::size_t threads,
+    const std::function<RunResult(const Parameters&)>& run_fn,
+    const SeedDoneFn& on_run_done = {}, RunTelemetry* telemetry = nullptr);
 
 /// Number of repetitions the paper uses.
 inline constexpr std::size_t kPaperSeeds = 33;

@@ -270,6 +270,7 @@ RunResult SimulationRun::collect() {
     result.data_dropped += telemetry.data_dropped;
   }
   result.events_processed = sim_.events_processed();
+  result.peak_queue_depth = sim_.peak_events_pending();
   result.churn_deaths = churn_deaths_;
 
   result.overlay_samples = overlay_samples_;

@@ -70,6 +70,7 @@ struct RunResult {
   std::uint64_t frames_lost = 0;
   double energy_consumed_j = 0.0;
   std::uint64_t events_processed = 0;
+  std::size_t peak_queue_depth = 0;  // event-queue high-water mark
 
   // Routing totals (protocol-independent; see RoutingService::Telemetry).
   std::uint64_t routing_control_messages = 0;

@@ -1,0 +1,60 @@
+#include "scenario/telemetry.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace p2p::scenario {
+
+void RunTelemetry::reset(std::size_t num_seeds) {
+  seeds_.assign(num_seeds, SeedTelemetry{});
+  threads_used_ = 0;
+  total_wall_seconds_ = 0.0;
+}
+
+void RunTelemetry::set(std::size_t seed_index, const SeedTelemetry& t) {
+  P2P_ASSERT(seed_index < seeds_.size());
+  seeds_[seed_index] = t;
+}
+
+double RunTelemetry::aggregate_events_per_sec() const noexcept {
+  std::uint64_t events = 0;
+  double wall = 0.0;
+  for (const auto& s : seeds_) {
+    events += s.events_processed;
+    wall += s.wall_seconds;
+  }
+  return wall > 0.0 ? static_cast<double>(events) / wall : 0.0;
+}
+
+std::string RunTelemetry::to_jsonl() const {
+  std::ostringstream os;
+  os.precision(6);
+  os << std::fixed;
+  os << "{\"type\":\"experiment\",\"seeds\":" << seeds_.size()
+     << ",\"threads\":" << threads_used_
+     << ",\"wall_s\":" << total_wall_seconds_
+     << ",\"events_per_sec\":" << aggregate_events_per_sec();
+  if (!cache_key_.empty()) os << ",\"cache_key\":\"" << cache_key_ << "\"";
+  os << "}\n";
+  for (const auto& s : seeds_) {
+    os << "{\"type\":\"seed\",\"index\":" << s.seed_index
+       << ",\"seed\":" << s.seed << ",\"wall_s\":" << s.wall_seconds
+       << ",\"events\":" << s.events_processed
+       << ",\"events_per_sec\":" << s.events_per_sec
+       << ",\"frames_tx\":" << s.frames_tx << ",\"frames_rx\":" << s.frames_rx
+       << ",\"frames_lost\":" << s.frames_lost
+       << ",\"peak_queue_depth\":" << s.peak_queue_depth << "}\n";
+  }
+  return os.str();
+}
+
+bool RunTelemetry::write_jsonl(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << to_jsonl();
+  return static_cast<bool>(os);
+}
+
+}  // namespace p2p::scenario

@@ -1,0 +1,69 @@
+// Per-seed run telemetry for the experiment engine.
+//
+// Every repetition of an experiment records how long it took on the wall
+// clock, how fast the event loop ran, and how much traffic the simulated
+// network carried. The collection serializes to a JSONL manifest (one
+// header object, then one object per seed) that is written next to the
+// experiment-cache entry and can be printed by `p2pmanet_sim
+// --telemetry`. Schema: docs/determinism.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace p2p::scenario {
+
+struct SeedTelemetry {
+  std::size_t seed_index = 0;   // 0-based offset from the base seed
+  std::uint64_t seed = 0;       // the actual master seed of the run
+  double wall_seconds = 0.0;    // wall-clock time of this repetition
+  std::uint64_t events_processed = 0;
+  double events_per_sec = 0.0;  // events_processed / wall_seconds
+  std::uint64_t frames_tx = 0;
+  std::uint64_t frames_rx = 0;
+  std::uint64_t frames_lost = 0;
+  std::size_t peak_queue_depth = 0;  // event-queue high-water mark
+};
+
+/// Telemetry for one multi-seed experiment. Workers fill disjoint
+/// seed-indexed slots (no locking needed); the caller reads after the
+/// experiment returns.
+class RunTelemetry {
+ public:
+  /// Prepare `num_seeds` empty slots. Called by run_experiment.
+  void reset(std::size_t num_seeds);
+
+  /// Record one seed's telemetry (thread-safe for distinct indices).
+  void set(std::size_t seed_index, const SeedTelemetry& t);
+
+  const std::vector<SeedTelemetry>& per_seed() const noexcept {
+    return seeds_;
+  }
+
+  /// Experiment-level fields, filled by run_experiment / the cache layer.
+  void set_threads_used(std::size_t n) noexcept { threads_used_ = n; }
+  std::size_t threads_used() const noexcept { return threads_used_; }
+  void set_total_wall_seconds(double s) noexcept { total_wall_seconds_ = s; }
+  double total_wall_seconds() const noexcept { return total_wall_seconds_; }
+  void set_cache_key(std::string key) { cache_key_ = std::move(key); }
+  const std::string& cache_key() const noexcept { return cache_key_; }
+
+  /// Sum of per-seed events / sum of per-seed wall time (0 if no data).
+  double aggregate_events_per_sec() const noexcept;
+
+  /// JSONL manifest: header line + one line per recorded seed.
+  std::string to_jsonl() const;
+
+  /// Best-effort write of to_jsonl() to `path`. Returns success.
+  bool write_jsonl(const std::string& path) const;
+
+ private:
+  std::vector<SeedTelemetry> seeds_;
+  std::size_t threads_used_ = 0;
+  double total_wall_seconds_ = 0.0;
+  std::string cache_key_;
+};
+
+}  // namespace p2p::scenario

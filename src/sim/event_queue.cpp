@@ -12,6 +12,7 @@ EventId EventQueue::push(SimTime at, EventFn fn) {
   const EventId id = seq + 1;  // 0 stays kInvalidEventId
   heap_.push_back(Entry{at, seq, id, std::move(fn)});
   pending_.insert(id);
+  if (pending_.size() > peak_size_) peak_size_ = pending_.size();
   sift_up(heap_.size() - 1);
   return id;
 }

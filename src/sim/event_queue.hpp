@@ -51,6 +51,9 @@ class EventQueue {
   /// Total events ever scheduled (telemetry).
   std::uint64_t total_scheduled() const noexcept { return next_seq_; }
 
+  /// High-water mark of live pending events (telemetry).
+  std::size_t peak_size() const noexcept { return peak_size_; }
+
  private:
   struct Entry {
     SimTime time;
@@ -72,6 +75,7 @@ class EventQueue {
   std::vector<Entry> heap_;
   std::unordered_set<EventId> pending_;  // live (un-fired, un-cancelled) ids
   std::uint64_t next_seq_ = 0;
+  std::size_t peak_size_ = 0;
 };
 
 }  // namespace p2p::sim

@@ -1,8 +1,38 @@
 #include "sim/rng.hpp"
 
+#include <cmath>
+
 #include "util/assert.hpp"
 
 namespace p2p::sim {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+/// 64x64 -> 128-bit product, split into high and low words.
+inline void mul_64x64(std::uint64_t a, std::uint64_t b, std::uint64_t* hi,
+                      std::uint64_t* lo) noexcept {
+#if defined(__SIZEOF_INT128__)
+  __extension__ using u128 = unsigned __int128;
+  const u128 p = static_cast<u128>(a) * static_cast<u128>(b);
+  *hi = static_cast<std::uint64_t>(p >> 64);
+  *lo = static_cast<std::uint64_t>(p);
+#else
+  // Portable 32-bit-halves schoolbook multiply.
+  const std::uint64_t a_lo = a & 0xffffffffULL, a_hi = a >> 32;
+  const std::uint64_t b_lo = b & 0xffffffffULL, b_hi = b >> 32;
+  const std::uint64_t p0 = a_lo * b_lo;
+  const std::uint64_t p1 = a_lo * b_hi;
+  const std::uint64_t p2 = a_hi * b_lo;
+  const std::uint64_t p3 = a_hi * b_hi;
+  const std::uint64_t mid = p1 + (p0 >> 32) + (p2 & 0xffffffffULL);
+  *hi = p3 + (p2 >> 32) + (mid >> 32);
+  *lo = (mid << 32) | (p0 & 0xffffffffULL);
+#endif
+}
+
+}  // namespace
 
 double RngStream::uniform(double lo, double hi) {
   P2P_DASSERT(lo <= hi);
@@ -11,14 +41,46 @@ double RngStream::uniform(double lo, double hi) {
 
 std::int64_t RngStream::uniform_int(std::int64_t lo, std::int64_t hi) {
   P2P_DASSERT(lo <= hi);
-  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
-  return dist(engine_);
+  // Span as unsigned arithmetic so [INT64_MIN, INT64_MAX] does not
+  // overflow; a span of 0 encodes the full 2^64 range.
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());
+  // Lemire's nearly-divisionless bounded generation: map a 64-bit draw x
+  // to floor(x * span / 2^64) and reject the sliver that would bias the
+  // low residues ("Fast Random Integer Generation in an Interval", 2019).
+  std::uint64_t hi_word = 0, lo_word = 0;
+  mul_64x64(next_u64(), span, &hi_word, &lo_word);
+  if (lo_word < span) {
+    const std::uint64_t threshold = (0 - span) % span;
+    while (lo_word < threshold) {
+      mul_64x64(next_u64(), span, &hi_word, &lo_word);
+    }
+  }
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + hi_word);
 }
 
 double RngStream::exponential(double mean) {
   P2P_DASSERT(mean > 0.0);
-  std::exponential_distribution<double> dist(1.0 / mean);
-  return dist(engine_);
+  // Inverse CDF on u in (0, 1]: uniform01() is in [0, 1), so 1 - u never
+  // hits zero and log1p(-u) is finite.
+  return -mean * std::log1p(-uniform01());
+}
+
+double RngStream::normal(double mean, double stddev) {
+  P2P_DASSERT(stddev >= 0.0);
+  if (has_normal_spare_) {
+    has_normal_spare_ = false;
+    return mean + stddev * normal_spare_;
+  }
+  // Box-Muller: u1 in (0, 1] keeps the log finite.
+  const double u1 = 1.0 - uniform01();
+  const double u2 = uniform01();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = kTwoPi * u2;
+  normal_spare_ = radius * std::sin(angle);
+  has_normal_spare_ = true;
+  return mean + stddev * radius * std::cos(angle);
 }
 
 }  // namespace p2p::sim

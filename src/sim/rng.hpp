@@ -6,6 +6,15 @@
 // new consumer therefore never perturbs the draws of existing ones — runs
 // stay comparable across code versions, the property ns-2 users get from
 // separate RNG substreams.
+//
+// All distributions are implemented in-house (Lemire bounded integers,
+// inverse-CDF uniform/exponential, Box-Muller normal). The standard
+// library's std::*_distribution adapters are deliberately not used: the
+// standard pins the mt19937_64 engine bit-for-bit but leaves distribution
+// algorithms implementation-defined, so libstdc++ and libc++ produce
+// different draws from the same engine state. With in-house distributions
+// the entire simulation — and therefore every cached experiment result —
+// is reproducible across toolchains. See docs/determinism.md.
 #pragma once
 
 #include <cstdint>
@@ -32,13 +41,19 @@ constexpr std::uint64_t fnv1a(std::string_view s) noexcept {
   return h;
 }
 
-/// One independent random stream (mt19937_64 under the hood).
+/// One independent random stream (mt19937_64 under the hood; the engine
+/// itself is fully specified by the standard and thus portable).
 class RngStream {
  public:
   explicit RngStream(std::uint64_t seed) : engine_(seed) {}
 
-  /// Uniform double in [0, 1).
-  double uniform01() { return unit_(engine_); }
+  /// Raw 64 uniformly random bits.
+  std::uint64_t next_u64() { return engine_(); }
+
+  /// Uniform double in [0, 1), 53-bit resolution.
+  double uniform01() {
+    return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi). Pre: lo <= hi.
   double uniform(double lo, double hi);
@@ -46,8 +61,11 @@ class RngStream {
   /// Uniform integer in [lo, hi] inclusive. Pre: lo <= hi.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
 
-  /// Exponential with the given mean (> 0).
+  /// Exponential with the given mean (> 0), via inverse CDF.
   double exponential(double mean);
+
+  /// Normal(mean, stddev), via Box-Muller (spare draw cached).
+  double normal(double mean, double stddev);
 
   /// Bernoulli trial.
   bool chance(double p) { return uniform01() < p; }
@@ -63,11 +81,10 @@ class RngStream {
     }
   }
 
-  std::mt19937_64& engine() noexcept { return engine_; }
-
  private:
   std::mt19937_64 engine_;
-  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  double normal_spare_ = 0.0;
+  bool has_normal_spare_ = false;
 };
 
 /// Derives named streams from a single master seed.

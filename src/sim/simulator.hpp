@@ -48,6 +48,7 @@ class Simulator {
   std::uint64_t events_processed() const noexcept { return events_processed_; }
   std::size_t events_pending() const noexcept { return queue_.size(); }
   std::uint64_t events_scheduled() const noexcept { return queue_.total_scheduled(); }
+  std::size_t peak_events_pending() const noexcept { return queue_.peak_size(); }
 
  private:
   EventQueue queue_;

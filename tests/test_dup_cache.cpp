@@ -10,7 +10,7 @@ using p2p::net::DupCache;
 TEST(DupCache, FirstInsertIsFresh) {
   DupCache cache(10.0);
   EXPECT_TRUE(cache.insert(1, 100, 0.0));
-  EXPECT_TRUE(cache.contains(1, 100));
+  EXPECT_TRUE(cache.contains(1, 100, 0.0));
 }
 
 TEST(DupCache, SecondInsertIsDuplicate) {
@@ -55,8 +55,25 @@ TEST(DupCache, SizeReflectsLiveEntries) {
 
 TEST(DupCache, ContainsDoesNotInsert) {
   DupCache cache(10.0);
-  EXPECT_FALSE(cache.contains(5, 5));
+  EXPECT_FALSE(cache.contains(5, 5, 0.0));
   EXPECT_TRUE(cache.insert(5, 5, 0.0));
+}
+
+// Regression: contains() used to ignore the TTL entirely — an entry past
+// its TTL (but not yet lazily evicted by an insert) was still reported as
+// seen, suppressing legitimate ID reuse.
+TEST(DupCache, ContainsRespectsTtlWithoutEviction) {
+  DupCache cache(10.0);
+  cache.insert(1, 100, 0.0);
+  EXPECT_TRUE(cache.contains(1, 100, 5.0));
+  EXPECT_TRUE(cache.contains(1, 100, 9.99));
+  // No insert has run since, so the entry is physically still present —
+  // but it must read as expired.
+  EXPECT_FALSE(cache.contains(1, 100, 10.0));
+  EXPECT_FALSE(cache.contains(1, 100, 1000.0));
+  // And the ID is reusable.
+  EXPECT_TRUE(cache.insert(1, 100, 10.0));
+  EXPECT_TRUE(cache.contains(1, 100, 10.0));
 }
 
 }  // namespace

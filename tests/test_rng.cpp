@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <set>
 #include <vector>
 
@@ -90,6 +91,82 @@ TEST(RngStream, ExponentialHasRequestedMean) {
   const int n = 100000;
   for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
   EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+// Portability canaries: these values must hold on every platform and
+// standard library. The mt19937_64 engine is pinned bit-for-bit by the
+// C++ standard, and every distribution below is implemented in-house
+// (Lemire bounded ints, inverse-CDF exponential, Box-Muller normal) —
+// std::*_distribution is banned precisely because its output differs
+// between libstdc++ and libc++, which would invalidate the cross-library
+// experiment cache. See docs/determinism.md. If one of these fails, the
+// RNG changed and the cache `code-vN` tag must be bumped.
+TEST(RngStreamGolden, Uniform01PinnedForSeed42) {
+  RngStream rng(42);
+  EXPECT_EQ(rng.uniform01(), 0.75515553295453897);
+  EXPECT_EQ(rng.uniform01(), 0.63903139385469743);
+  EXPECT_EQ(rng.uniform01(), 0.7521452007480266);
+  EXPECT_EQ(rng.uniform01(), 0.13627268363243705);
+}
+
+TEST(RngStreamGolden, UniformIntPinnedForSeed42) {
+  RngStream rng(42);
+  EXPECT_EQ(rng.uniform_int(0, 99), 75);
+  EXPECT_EQ(rng.uniform_int(0, 99), 63);
+  EXPECT_EQ(rng.uniform_int(0, 99), 75);
+  EXPECT_EQ(rng.uniform_int(0, 99), 13);
+  EXPECT_EQ(rng.uniform_int(0, 99), 90);
+  EXPECT_EQ(rng.uniform_int(0, 99), 9);
+}
+
+TEST(RngStreamGolden, UniformIntPinnedForWideRange) {
+  RngStream rng(7);
+  EXPECT_EQ(rng.uniform_int(-1000000000000LL, 1000000000000LL), 508770608306LL);
+  EXPECT_EQ(rng.uniform_int(-1000000000000LL, 1000000000000LL), 898602405786LL);
+  EXPECT_EQ(rng.uniform_int(-1000000000000LL, 1000000000000LL),
+            -765171437931LL);
+}
+
+TEST(RngStreamGolden, ExponentialPinnedForSeed42) {
+  RngStream rng(42);
+  EXPECT_EQ(rng.exponential(2.0), 2.8142641968242876);
+  EXPECT_EQ(rng.exponential(2.0), 2.0379285760344548);
+  EXPECT_EQ(rng.exponential(2.0), 2.7898243823374731);
+  EXPECT_EQ(rng.exponential(2.0), 0.292996332096431);
+}
+
+TEST(RngStreamGolden, NormalPinnedForSeed42) {
+  RngStream rng(42);
+  EXPECT_EQ(rng.normal(0.0, 1.0), -1.0771745442782885);
+  EXPECT_EQ(rng.normal(0.0, 1.0), -1.2860634502166481);
+  EXPECT_EQ(rng.normal(0.0, 1.0), 1.0945198485006107);
+  EXPECT_EQ(rng.normal(0.0, 1.0), 1.2616856516484893);
+}
+
+TEST(RngStream, NormalMomentsAreSane) {
+  RngStream rng(99);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(1.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(RngStream, UniformIntFullRangeDoesNotHang) {
+  RngStream rng(3);
+  // Span 2^64 (rejection-free path); just exercise it.
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 8; ++i) {
+    seen.insert(rng.uniform_int(std::numeric_limits<std::int64_t>::min(),
+                                std::numeric_limits<std::int64_t>::max()));
+  }
+  EXPECT_GT(seen.size(), 1U);
 }
 
 TEST(RngStream, ChanceExtremes) {

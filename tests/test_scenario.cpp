@@ -235,12 +235,17 @@ TEST(Experiment, ParallelMatchesSequential) {
   const auto seq = scenario::run_experiment(params, 3, 1);
   const auto par = scenario::run_experiment(params, 3, 3);
   EXPECT_EQ(seq.runs, par.runs);
-  // Aggregation is order-independent for curve means.
+  // Aggregation happens in seed order regardless of thread count, so
+  // results are bit-identical — exact ==, not DOUBLE_EQ. The exhaustive
+  // all-fields version of this check lives in test_determinism.cpp.
   ASSERT_EQ(seq.connect_curve.points(), par.connect_curve.points());
   for (std::size_t i = 0; i < seq.connect_curve.points(); ++i) {
-    EXPECT_DOUBLE_EQ(seq.connect_curve.mean_at(i), par.connect_curve.mean_at(i));
+    EXPECT_EQ(seq.connect_curve.mean_at(i), par.connect_curve.mean_at(i));
+    EXPECT_EQ(seq.connect_curve.ci95_at(i), par.connect_curve.ci95_at(i));
   }
-  EXPECT_DOUBLE_EQ(seq.frames_transmitted.mean(), par.frames_transmitted.mean());
+  EXPECT_EQ(seq.frames_transmitted.mean(), par.frames_transmitted.mean());
+  EXPECT_EQ(seq.frames_transmitted.variance(),
+            par.frames_transmitted.variance());
 }
 
 TEST(Cache, RoundTripsExperimentResults) {

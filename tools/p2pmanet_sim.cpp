@@ -1,13 +1,18 @@
 // p2pmanet_sim — run one P2P-over-MANET scenario end to end.
 //
 //   p2pmanet_sim [--config FILE.ini] [--trace FILE.tr] [--csv PREFIX]
-//                [--seeds N] [key=value ...]
+//                [--seeds N] [--threads N] [--progress] [--telemetry]
+//                [key=value ...]
 //
 // With --seeds N > 1 the scenario is repeated across seeds (paper
 // methodology) and aggregated results are reported with 95% CIs;
 // otherwise a single run is executed and per-node detail is printed.
 // --trace writes an ns-2-style packet trace (single-run mode only).
 // --csv writes <PREFIX>_curves.csv and <PREFIX>_ranks.csv for plotting.
+// --progress logs each finished seed with wall time and events/sec;
+// --telemetry prints the JSONL run manifest (docs/determinism.md) after
+// the experiment.
+#include <atomic>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -16,6 +21,7 @@
 #include "net/network.hpp"
 #include "scenario/experiment.hpp"
 #include "scenario/run.hpp"
+#include "scenario/telemetry.hpp"
 #include "stats/table.hpp"
 #include "trace/trace.hpp"
 #include "util/config.hpp"
@@ -28,7 +34,8 @@ int usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0
       << " [--config FILE.ini] [--trace FILE.tr] [--csv PREFIX]\n"
-         "       [--seeds N] [key=value ...]\n\n"
+         "       [--seeds N] [--threads N] [--progress] [--telemetry]\n"
+         "       [key=value ...]\n\n"
          "common keys: algorithm=basic|regular|random|hybrid num_nodes=50\n"
          "  duration_s=3600 seed=1 p2p_fraction=0.75 mobility=waypoint|\n"
          "  direction|gauss_markov routing_protocol=aodv|dsdv maxnconn=3 ...\n";
@@ -119,6 +126,9 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string csv_prefix;
   std::size_t seeds = 1;
+  std::size_t threads = 0;
+  bool progress = false;
+  bool telemetry = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -158,8 +168,25 @@ int main(int argc, char** argv) {
     if (arg == "--seeds") {
       const char* n = next();
       if (n == nullptr) return usage(argv[0]);
-      seeds = static_cast<std::size_t>(std::strtoul(n, nullptr, 10));
-      if (seeds == 0) return usage(argv[0]);
+      char* end = nullptr;
+      seeds = static_cast<std::size_t>(std::strtoul(n, &end, 10));
+      if (end == n || *end != '\0' || seeds == 0) return usage(argv[0]);
+      continue;
+    }
+    if (arg == "--threads") {
+      const char* n = next();
+      if (n == nullptr) return usage(argv[0]);
+      char* end = nullptr;
+      threads = static_cast<std::size_t>(std::strtoul(n, &end, 10));
+      if (end == n || *end != '\0') return usage(argv[0]);
+      continue;
+    }
+    if (arg == "--progress") {
+      progress = true;
+      continue;
+    }
+    if (arg == "--telemetry") {
+      telemetry = true;
       continue;
     }
     std::string error;
@@ -178,11 +205,26 @@ int main(int argc, char** argv) {
   std::cout << "p2pmanet_sim — " << params.summary() << "\n\n";
 
   if (seeds > 1) {
-    const auto result = scenario::run_experiment(
-        params, seeds, 0, [](std::size_t done, std::size_t total) {
-          std::cerr << "\rrun " << done << "/" << total << std::flush;
-        });
-    std::cerr << "\n";
+    scenario::RunTelemetry run_telemetry;
+    std::atomic<std::size_t> completed{0};
+    const auto on_run_done = [&](std::size_t seed_index, std::size_t total) {
+      const std::size_t done = completed.fetch_add(1) + 1;
+      if (progress) {
+        // Telemetry slot `seed_index` is filled before this fires.
+        const auto& t = run_telemetry.per_seed()[seed_index];
+        std::ostringstream line;  // single write: lines from workers don't interleave
+        line << "seed " << t.seed << " done (" << done << "/" << total
+             << "): " << t.wall_seconds << " s, " << t.events_per_sec
+             << " events/s, " << t.frames_tx << " frames tx\n";
+        std::cerr << line.str();
+      } else {
+        std::cerr << "\rrun " << done << "/" << total << std::flush;
+      }
+    };
+    const auto result =
+        scenario::run_experiment(params, seeds, threads, on_run_done,
+                                 &run_telemetry);
+    if (!progress) std::cerr << "\n";
     std::cout << "aggregated over " << result.runs << " seeds:\n"
               << "  frames tx: " << result.frames_transmitted.mean() << " ± "
               << result.frames_transmitted.ci95_halfwidth() << "\n"
@@ -191,11 +233,18 @@ int main(int argc, char** argv) {
               << "  overlay clustering: " << result.overlay_clustering.mean()
               << ", path length: " << result.overlay_path_length.mean()
               << "\n";
+    if (telemetry) {
+      std::cout << "\nrun manifest (JSONL):\n" << run_telemetry.to_jsonl();
+    }
     if (!csv_prefix.empty() && !write_experiment_csv(result, csv_prefix)) {
       std::cerr << "failed to write CSVs with prefix " << csv_prefix << "\n";
       return 1;
     }
     return 0;
+  }
+  if (telemetry) {
+    std::cerr << "--telemetry requires --seeds N > 1\n";
+    return 2;
   }
 
   scenario::SimulationRun run(params);
