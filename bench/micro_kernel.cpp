@@ -3,7 +3,9 @@
 // graph metrics, mobility sampling, and a full miniature run.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "graph/metrics.hpp"
 #include "mobility/random_waypoint.hpp"
@@ -44,8 +46,49 @@ void BM_EventQueueCancel(benchmark::State& state) {
     for (const auto id : ids) queue.cancel(id);
     benchmark::DoNotOptimize(queue.empty());
   }
+  state.SetItemsProcessed(2000 * state.iterations());
 }
 BENCHMARK(BM_EventQueueCancel);
+
+// Steady-state kernel throughput at a fixed queue depth: the pop-one /
+// push-one regime a long simulation settles into. The heap never empties,
+// so this isolates sift cost at depth `range(0)` from setup cost.
+void BM_EventQueueSteadyState(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  sim::RngStream rng(42);
+  sim::EventQueue queue;
+  double now = 0.0;
+  for (std::size_t i = 0; i < depth; ++i) {
+    queue.push(rng.uniform(0.0, 10.0), [] {});
+  }
+  for (auto _ : state) {
+    auto popped = queue.pop();
+    now = popped.time;
+    queue.push(now + rng.uniform(0.0, 10.0), [] {});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueSteadyState)->Arg(64)->Arg(1024)->Arg(16384);
+
+// Timer churn: the arm/disarm pattern of connection maintenance — push a
+// timeout, cancel it, rearm. With tombstone cancellation this is O(1)
+// per cancel; dead entries surface lazily at the heap top.
+void BM_EventQueueTimerChurn(benchmark::State& state) {
+  sim::RngStream rng(42);
+  sim::EventQueue queue;
+  double now = 0.0;
+  // Standing background events so cancelled timers are interleaved with
+  // live ones rather than forming a dead prefix.
+  for (int i = 0; i < 256; ++i) queue.push(rng.uniform(0.0, 1e9), [] {});
+  sim::EventId armed = sim::kInvalidEventId;
+  for (auto _ : state) {
+    if (armed != sim::kInvalidEventId) queue.cancel(armed);
+    now += 0.25;
+    armed = queue.push(now + 30.0, [] {});
+  }
+  state.SetItemsProcessed(2 * state.iterations());  // one push + one cancel
+}
+BENCHMARK(BM_EventQueueTimerChurn);
 
 struct World {
   sim::Simulator sim;
@@ -75,10 +118,16 @@ void BM_NetworkBroadcast(benchmark::State& state) {
   World world(static_cast<std::size_t>(state.range(0)));
   struct Noop final : net::FramePayload {};
   const auto payload = std::make_shared<const Noop>();
+  const std::uint64_t frames_before = world.net->frames_delivered();
   for (auto _ : state) {
     world.net->broadcast(0, payload, 64);
     world.sim.run();
   }
+  state.counters["frames_per_sec"] = benchmark::Counter(
+      static_cast<double>(world.net->frames_delivered() - frames_before),
+      benchmark::Counter::kIsRate);
+  state.counters["peak_queue"] =
+      static_cast<double>(world.sim.peak_events_pending());
 }
 BENCHMARK(BM_NetworkBroadcast)->Arg(50)->Arg(150)->Arg(500);
 

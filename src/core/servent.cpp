@@ -109,8 +109,7 @@ bool Servent::holds(FileId file) const {
   return placement_ != nullptr && placement_->holds(member_index_, file);
 }
 
-void Servent::arm(sim::EventId& slot, sim::SimTime delay,
-                  std::function<void()> fn) {
+void Servent::arm(sim::EventId& slot, sim::SimTime delay, sim::EventFn fn) {
   disarm(slot);
   slot = ctx_.sim->after(delay, std::move(fn));
 }
@@ -464,8 +463,10 @@ void Servent::handle_query(NodeId src, const Query& query) {
 }
 
 int Servent::physical_distance_to(NodeId other) {
-  const graph::Graph g(ctx_.net->adjacency_snapshot());
-  return g.distance(self(), other);
+  // Hot on query-heavy runs (one snapshot per query hit): reuse this
+  // servent's adjacency buffer instead of allocating a fresh snapshot.
+  ctx_.net->adjacency_snapshot(&adj_scratch_);
+  return graph::bfs_distance(adj_scratch_, self(), other);
 }
 
 void Servent::handle_query_hit(NodeId /*src*/, const QueryHit& hit) {

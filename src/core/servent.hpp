@@ -137,7 +137,7 @@ class Servent {
   MessageCounters& counters_mut() noexcept { return counters_; }
 
   /// Cancel-and-rearm helper for the per-connection event slots.
-  void arm(sim::EventId& slot, sim::SimTime delay, std::function<void()> fn);
+  void arm(sim::EventId& slot, sim::SimTime delay, sim::EventFn fn);
   void disarm(sim::EventId& slot) noexcept;
 
  private:
@@ -196,6 +196,9 @@ class Servent {
   std::uint64_t queries_sent_ = 0;
   std::uint64_t connections_established_ = 0;
   std::uint64_t connections_closed_ = 0;
+
+  // Reused by physical_distance_to (one adjacency snapshot per query hit).
+  std::vector<std::vector<net::NodeId>> adj_scratch_;
 };
 
 }  // namespace p2p::core

@@ -45,16 +45,21 @@ std::vector<int> Graph::bfs_distances(Vertex src) const {
 }
 
 int Graph::distance(Vertex src, Vertex dst) const {
-  if (src >= adj_.size() || dst >= adj_.size()) return kUnreachable;
+  return bfs_distance(adj_, src, dst);
+}
+
+int bfs_distance(const std::vector<std::vector<Vertex>>& adj, Vertex src,
+                 Vertex dst) {
+  if (src >= adj.size() || dst >= adj.size()) return kUnreachable;
   if (src == dst) return 0;
-  std::vector<int> dist(adj_.size(), kUnreachable);
+  std::vector<int> dist(adj.size(), kUnreachable);
   std::queue<Vertex> queue;
   dist[src] = 0;
   queue.push(src);
   while (!queue.empty()) {
     const Vertex v = queue.front();
     queue.pop();
-    for (const Vertex w : adj_[v]) {
+    for (const Vertex w : adj[v]) {
       if (dist[w] == kUnreachable) {
         dist[w] = dist[v] + 1;
         if (w == dst) return dist[w];

@@ -42,4 +42,11 @@ class Graph {
   std::vector<std::vector<Vertex>> adj_;
 };
 
+/// Shortest hop distance over a raw adjacency structure, early-exiting
+/// once `dst` settles; kUnreachable when disconnected. Lets callers that
+/// snapshot adjacency repeatedly (Network::adjacency_snapshot buffer
+/// overload) query distances without constructing a Graph.
+int bfs_distance(const std::vector<std::vector<Vertex>>& adj, Vertex src,
+                 Vertex dst);
+
 }  // namespace p2p::graph

@@ -32,7 +32,13 @@ void Network::attach_listener(NodeId id, LinkListener* listener) {
 
 geo::Vec2 Network::position_of(NodeId id) {
   P2P_ASSERT(id < nodes_.size());
-  return nodes_[id].mobility->position_at(sim_->now());
+  NodeState& node = nodes_[id];
+  const sim::SimTime now = sim_->now();
+  if (node.cached_pos_time != now) {
+    node.cached_pos = node.mobility->position_at(now);
+    node.cached_pos_time = now;
+  }
+  return node.cached_pos;
 }
 
 bool Network::alive(NodeId id) const {
@@ -68,20 +74,20 @@ void Network::refresh_index() {
   if (index_.is_fresh(sim_->now(), nodes_.size())) return;
   scratch_positions_.resize(nodes_.size());
   for (NodeId i = 0; i < nodes_.size(); ++i) {
-    scratch_positions_[i] = nodes_[i].mobility->position_at(sim_->now());
+    scratch_positions_[i] = position_of(i);  // warms the per-node cache too
   }
   index_.refresh(sim_->now(), scratch_positions_);
 }
 
 void Network::receivers_of(NodeId sender, std::vector<NodeId>* out) {
   refresh_index();
-  index_.candidates_near(position_of(sender), &scratch_candidates_);
+  const geo::Vec2 sp = position_of(sender);  // sampled once, reused below
+  index_.candidates_near(sp, &scratch_candidates_);
   out->clear();
   const double r2 = params_.range * params_.range;
-  const geo::Vec2 sp = position_of(sender);
   for (const NodeId cand : scratch_candidates_) {
     if (cand == sender || !alive(cand)) continue;
-    if (geo::distance2(sp, nodes_[cand].mobility->position_at(sim_->now())) <= r2) {
+    if (geo::distance2(sp, position_of(cand)) <= r2) {
       out->push_back(cand);
     }
   }
@@ -94,26 +100,44 @@ void Network::neighbors_of(NodeId id, std::vector<NodeId>* out) {
 }
 
 std::vector<std::vector<NodeId>> Network::adjacency_snapshot() {
-  std::vector<std::vector<NodeId>> adj(nodes_.size());
+  std::vector<std::vector<NodeId>> adj;
+  adjacency_snapshot(&adj);
+  return adj;
+}
+
+void Network::adjacency_snapshot(std::vector<std::vector<NodeId>>* out) {
+  P2P_ASSERT(out != nullptr);
+  out->resize(nodes_.size());
   refresh_index();
-  // Force an exact snapshot: sample every position fresh.
+  // Force an exact snapshot: sample every position fresh (memoized per
+  // node for this instant).
   scratch_positions_.resize(nodes_.size());
   for (NodeId i = 0; i < nodes_.size(); ++i) {
-    scratch_positions_[i] = nodes_[i].mobility->position_at(sim_->now());
+    scratch_positions_[i] = position_of(i);
   }
   const double r2 = params_.range * params_.range;
+  std::size_t half_edges = 0;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    auto& row = (*out)[i];
+    row.clear();  // keeps capacity from the previous snapshot
+    if (row.capacity() == 0 && degree_hint_ > 0) row.reserve(degree_hint_);
+  }
   for (NodeId i = 0; i < nodes_.size(); ++i) {
     if (!alive(i)) continue;
     index_.candidates_near(scratch_positions_[i], &scratch_candidates_);
     for (const NodeId j : scratch_candidates_) {
       if (j <= i || !alive(j)) continue;
       if (geo::distance2(scratch_positions_[i], scratch_positions_[j]) <= r2) {
-        adj[i].push_back(j);
-        adj[j].push_back(i);
+        (*out)[i].push_back(j);
+        (*out)[j].push_back(i);
+        half_edges += 2;
       }
     }
   }
-  return adj;
+  if (!nodes_.empty()) {
+    // Round up: under-reserving costs a realloc, over-reserving a few slots.
+    degree_hint_ = (half_edges + nodes_.size() - 1) / nodes_.size() + 1;
+  }
 }
 
 sim::SimTime Network::schedule_tx(NodeState& node, double duration) {
@@ -124,7 +148,7 @@ sim::SimTime Network::schedule_tx(NodeState& node, double duration) {
   return start;
 }
 
-void Network::deliver(NodeId receiver, Frame frame) {
+void Network::deliver(NodeId receiver, const Frame& frame) {
   NodeState& node = nodes_[receiver];
   if (!alive(receiver)) {
     if (observer_ != nullptr) {
@@ -140,6 +164,33 @@ void Network::deliver(NodeId receiver, Frame frame) {
   for (LinkListener* listener : node.listeners) listener->on_frame(frame);
 }
 
+std::uint32_t Network::acquire_batch() {
+  if (!free_batches_.empty()) {
+    const std::uint32_t batch = free_batches_.back();
+    free_batches_.pop_back();
+    return batch;
+  }
+  batch_pool_.emplace_back();
+  return static_cast<std::uint32_t>(batch_pool_.size() - 1);
+}
+
+void Network::release_batch(std::uint32_t batch) {
+  batch_pool_[batch].clear();  // keeps capacity for the next storm
+  free_batches_.push_back(batch);
+}
+
+void Network::deliver_batch(std::uint32_t batch, const Frame& frame) {
+  // Receivers were filtered (range, liveness, channel) at transmit time;
+  // liveness is re-checked per delivery inside deliver() because an
+  // earlier delivery in this very batch can kill a later receiver.
+  // Index on every access: a delivery handler may broadcast, growing the
+  // pool vector (a different batch index, but possibly reallocating).
+  for (std::size_t i = 0; i < batch_pool_[batch].size(); ++i) {
+    deliver(batch_pool_[batch][i], frame);
+  }
+  release_batch(batch);
+}
+
 void Network::broadcast(NodeId sender, FramePayloadPtr payload,
                         std::size_t bytes) {
   P2P_ASSERT(sender < nodes_.size());
@@ -151,31 +202,53 @@ void Network::broadcast(NodeId sender, FramePayloadPtr payload,
     observer_->on_transmit(sim_->now(), sender, kBroadcast, bytes);
   }
 
-  std::vector<NodeId> receivers;
-  receivers_of(sender, &receivers);
+  refresh_index();
+  const geo::Vec2 sender_pos = position_of(sender);
+  index_.candidates_near(sender_pos, &scratch_candidates_);
   const double duration = tx_duration(params_.mac, bytes);
-  const sim::SimTime start = schedule_tx(node, duration);
+  const sim::SimTime start = schedule_tx(node, duration);  // jitter draw
   const sim::SimTime arrival = start + duration + params_.mac.propagation_s;
 
-  Frame frame{sender, kBroadcast, bytes, std::move(payload)};
-  const geo::Vec2 sender_pos = position_of(sender);
-  for (const NodeId r : receivers) {
+  // One pass over the spatial-index candidates: range filter + channel
+  // draws, in candidate order. This is the exact receiver order — and the
+  // exact mac_rng_ draw order — the per-receiver-event baseline used, so
+  // runs stay bit-identical (asserted by Network.BatchedBroadcastMatches*
+  // and the golden fig07 test).
+  const double r2 = params_.range * params_.range;
+  const std::uint32_t batch = acquire_batch();
+  for (const NodeId cand : scratch_candidates_) {
+    if (cand == sender || !alive(cand)) continue;
+    const geo::Vec2 rp = position_of(cand);
+    if (geo::distance2(sender_pos, rp) > r2) continue;
     bool lost = params_.mac.loss_probability > 0.0 &&
                 mac_rng_.chance(params_.mac.loss_probability);
     if (!lost && params_.mac.gray_zone_fraction > 0.0) {
-      const double dist = geo::distance(sender_pos, position_of(r));
+      const double dist = geo::distance(sender_pos, rp);
       lost = !mac_rng_.chance(
           gray_zone_delivery_probability(params_.mac, dist, params_.range));
     }
     if (lost) {
       ++frames_lost_;
       if (observer_ != nullptr) {
-        observer_->on_drop(sim_->now(), sender, r, bytes);
+        observer_->on_drop(sim_->now(), sender, cand, bytes);
       }
       continue;
     }
-    sim_->at(arrival, [this, r, frame] { deliver(r, frame); });
+    batch_pool_[batch].push_back(cand);
   }
+  if (batch_pool_[batch].empty()) {
+    release_batch(batch);
+    return;
+  }
+
+  // ONE arrival event per transmission, carrying the surviving receiver
+  // list by pool index and the frame by move: no per-receiver closure,
+  // no payload refcount churn. Survivors are delivered in receiver order,
+  // which equals the old contiguous FIFO-tied per-receiver event order.
+  Frame frame{sender, kBroadcast, bytes, std::move(payload)};
+  sim_->at(arrival, [this, batch, frame = std::move(frame)] {
+    deliver_batch(batch, frame);
+  });
 }
 
 void Network::unicast(NodeId sender, NodeId neighbor, FramePayloadPtr payload,

@@ -59,6 +59,10 @@ class Network {
   void unicast(NodeId sender, NodeId neighbor, FramePayloadPtr payload,
                std::size_t bytes);
 
+  /// Current position of `id`. Memoized per (node, SimTime): repeated
+  /// queries at the same simulated instant (range filters, gray-zone
+  /// distances, snapshots) pay the virtual mobility call and its trig
+  /// only once.
   geo::Vec2 position_of(NodeId id);
   bool in_range(NodeId a, NodeId b);
   /// Live neighbors within range of `id` (exact, fresh positions).
@@ -67,6 +71,11 @@ class Network {
   /// Physical connectivity graph over live nodes at the current time.
   /// adjacency[i] lists i's neighbors; down nodes get empty lists.
   std::vector<std::vector<NodeId>> adjacency_snapshot();
+  /// Buffer-reusing overload for callers that snapshot repeatedly
+  /// (reconfiguration rounds, per-query-hit distance checks): inner
+  /// vectors keep their capacity across calls, and fresh ones are
+  /// reserved from the previous round's mean degree.
+  void adjacency_snapshot(std::vector<std::vector<NodeId>>* out);
 
   EnergyModel& energy(NodeId id);
   const EnergyModel& energy(NodeId id) const;
@@ -94,13 +103,21 @@ class Network {
     std::vector<LinkListener*> listeners;
     bool failed = false;
     sim::SimTime next_free_tx = 0.0;
+    // position_of memoization, keyed by the simulated instant.
+    geo::Vec2 cached_pos{0.0, 0.0};
+    sim::SimTime cached_pos_time = -1.0;  // SimTime is never negative
   };
 
   /// Refresh the spatial index (and the position scratch buffer).
   void refresh_index();
   /// Exact in-range receiver set for a transmission from `sender`.
   void receivers_of(NodeId sender, std::vector<NodeId>* out);
-  void deliver(NodeId receiver, Frame frame);
+  void deliver(NodeId receiver, const Frame& frame);
+  /// Deliver one shared frame to every receiver in the batch, in order,
+  /// then return the receiver list to the pool.
+  void deliver_batch(std::uint32_t batch, const Frame& frame);
+  std::uint32_t acquire_batch();
+  void release_batch(std::uint32_t batch);
   /// Start time of the next transmission by `sender` (jitter + half-duplex
   /// serialization); advances the node's busy horizon.
   sim::SimTime schedule_tx(NodeState& node, double duration);
@@ -112,6 +129,13 @@ class Network {
   NeighborIndex index_;
   std::vector<geo::Vec2> scratch_positions_;
   std::vector<NodeId> scratch_candidates_;
+  // Recycled receiver lists for in-flight broadcast arrival events. A
+  // batch index stays stable while the pool vector grows (nested
+  // broadcasts from a delivery handler), so events capture the index,
+  // never a reference.
+  std::vector<std::vector<NodeId>> batch_pool_;
+  std::vector<std::uint32_t> free_batches_;
+  std::size_t degree_hint_ = 0;  // mean degree seen by the last snapshot
 
   NetObserver* observer_ = nullptr;
   std::uint64_t frames_tx_ = 0;

@@ -64,8 +64,12 @@ std::string canonical_parameters(const Parameters& p, std::size_t num_seeds) {
   os.precision(17);
   // Bump this tag whenever a code change alters simulation behavior; it
   // invalidates every cached experiment. v6: portable in-house RNG
-  // distributions replaced the std::*_distribution draws.
-  os << "code-v6\n";
+  // distributions replaced the std::*_distribution draws. v7: batched
+  // broadcast delivery — all message/energy metrics are bit-identical to
+  // v6, but events_processed (a serialized stat) counts one arrival event
+  // per broadcast instead of one per receiver, so v6 entries would report
+  // stale kernel telemetry.
+  os << "code-v7\n";
   put(os, "area_width", p.area_width);
   put(os, "area_height", p.area_height);
   put(os, "radio_range", p.radio_range);

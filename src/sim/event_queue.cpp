@@ -8,25 +8,46 @@ namespace p2p::sim {
 
 EventId EventQueue::push(SimTime at, EventFn fn) {
   P2P_ASSERT_MSG(at == at, "NaN event time");  // NaN check
-  const std::uint64_t seq = next_seq_++;
-  const EventId id = seq + 1;  // 0 stays kInvalidEventId
-  heap_.push_back(Entry{at, seq, id, std::move(fn)});
-  pending_.insert(id);
-  if (pending_.size() > peak_size_) peak_size_ = pending_.size();
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slot_gen_.size());
+    slot_gen_.push_back(0);
+    slot_fn_.emplace_back();
+  }
+  slot_fn_[slot] = std::move(fn);
+  const std::uint32_t gen = slot_gen_[slot];
+  heap_.push_back(Entry{at, next_seq_++, slot, gen});
   sift_up(heap_.size() - 1);
-  return id;
+  ++live_count_;
+  if (live_count_ > peak_size_) peak_size_ = live_count_;
+  return encode(slot, gen);
 }
 
 bool EventQueue::cancel(EventId id) noexcept {
-  return pending_.erase(id) > 0;
+  if (id == kInvalidEventId) return false;
+  // Unsigned wrap sends a zero low half to 0xffffffff, which fails the
+  // bound check below.
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffULL) - 1U;
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slot_gen_.size() || slot_gen_[slot] != gen) return false;
+  ++slot_gen_[slot];      // tombstone: the heap entry is now dead
+  slot_fn_[slot].reset(); // release captured resources eagerly
+  free_slots_.push_back(slot);
+  --live_count_;
+  return true;
 }
 
-void EventQueue::drop_dead_tops() {
-  while (!heap_.empty() && pending_.find(heap_.front().id) == pending_.end()) {
-    heap_.front() = std::move(heap_.back());
-    heap_.pop_back();
-    if (!heap_.empty()) sift_down(0);
-  }
+void EventQueue::remove_top() noexcept {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void EventQueue::drop_dead_tops() noexcept {
+  while (!heap_.empty() && !live(heap_.front())) remove_top();
 }
 
 SimTime EventQueue::next_time() {
@@ -37,35 +58,38 @@ SimTime EventQueue::next_time() {
 EventQueue::Popped EventQueue::pop() {
   drop_dead_tops();
   P2P_ASSERT_MSG(!heap_.empty(), "pop from empty EventQueue");
-  Entry top = std::move(heap_.front());
-  heap_.front() = std::move(heap_.back());
-  heap_.pop_back();
-  if (!heap_.empty()) sift_down(0);
-  pending_.erase(top.id);
-  return Popped{top.time, top.id, std::move(top.fn)};
+  const Entry top = heap_.front();
+  remove_top();
+  ++slot_gen_[top.slot];  // the handle is dead the moment the event fires
+  free_slots_.push_back(top.slot);
+  --live_count_;
+  return Popped{top.time, encode(top.slot, top.gen),
+                std::move(slot_fn_[top.slot])};
 }
 
 void EventQueue::sift_up(std::size_t i) noexcept {
+  const Entry e = heap_[i];
   while (i > 0) {
     const std::size_t parent = (i - 1) / 2;
-    if (!later(heap_[parent], heap_[i])) break;
-    std::swap(heap_[parent], heap_[i]);
+    if (!later(heap_[parent], e)) break;
+    heap_[i] = heap_[parent];
     i = parent;
   }
+  heap_[i] = e;
 }
 
 void EventQueue::sift_down(std::size_t i) noexcept {
   const std::size_t n = heap_.size();
+  const Entry e = heap_[i];
   for (;;) {
-    const std::size_t l = 2 * i + 1;
-    const std::size_t r = 2 * i + 2;
-    std::size_t smallest = i;
-    if (l < n && later(heap_[smallest], heap_[l])) smallest = l;
-    if (r < n && later(heap_[smallest], heap_[r])) smallest = r;
-    if (smallest == i) break;
-    std::swap(heap_[i], heap_[smallest]);
-    i = smallest;
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && later(heap_[child], heap_[child + 1])) ++child;
+    if (!later(e, heap_[child])) break;
+    heap_[i] = heap_[child];
+    i = child;
   }
+  heap_[i] = e;
 }
 
 }  // namespace p2p::sim

@@ -1,25 +1,41 @@
 // Pending-event set for the discrete-event kernel.
 //
-// A binary min-heap ordered by (time, sequence). Cancellation is lazy: a
-// cancelled entry stays in the heap and is skipped on pop, which keeps
-// cancel() cheap — important because the P2P maintenance layer cancels
-// timers constantly (every received pong reschedules a timeout).
+// A binary min-heap ordered by (time, sequence) with slot/generation
+// tombstone cancellation. The schedule→fire fast path performs zero hash
+// operations and zero heap allocations in steady state:
+//
+//   * heap entries are 24-byte PODs {time, seq, slot, gen}; the closures
+//     live out-of-line in a slot-indexed array and never move during
+//     sifts,
+//   * an EventId encodes (generation, slot); cancel() is an O(1) array
+//     probe — important because the P2P maintenance layer cancels timers
+//     constantly (every received pong reschedules a timeout),
+//   * cancelled entries stay in the heap as tombstones (their slot
+//     generation no longer matches) and are skipped on pop; their closure
+//     is destroyed eagerly so captured resources release at cancel time,
+//   * slots are recycled through a free list, so a long-running simulation
+//     reuses the same storage instead of growing it.
+//
+// Closures are sim::EventFn — a fixed-capacity inline function (see
+// inplace_function.hpp) — so push() never allocates for captures.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/inplace_function.hpp"
 #include "sim/time.hpp"
 
 namespace p2p::sim {
 
-/// Opaque handle for cancellation. Value 0 is "no event".
+/// Opaque handle for cancellation. Value 0 is "no event". Internally
+/// encodes (generation << 32) | (slot + 1); handles are recycled only
+/// after 2^32 lifecycles of the same slot, so stale handles from fired or
+/// cancelled events can never reach a live event.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
-using EventFn = std::function<void()>;
+using EventFn = InplaceFn<kEventCaptureBytes>;
 
 class EventQueue {
  public:
@@ -34,8 +50,8 @@ class EventQueue {
   /// yet fired. Cancelling an already-fired or invalid id is a no-op.
   bool cancel(EventId id) noexcept;
 
-  bool empty() const noexcept { return pending_.empty(); }
-  std::size_t size() const noexcept { return pending_.size(); }
+  bool empty() const noexcept { return live_count_ == 0; }
+  std::size_t size() const noexcept { return live_count_; }
 
   /// Time of the earliest live event; kTimeNever when empty.
   SimTime next_time();
@@ -55,26 +71,39 @@ class EventQueue {
   std::size_t peak_size() const noexcept { return peak_size_; }
 
  private:
-  struct Entry {
+  struct Entry {  // 24-byte POD; the closure lives in slot_fn_[slot]
     SimTime time;
-    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
-    EventId id;
-    EventFn fn;
+    std::uint64_t seq;   // tie-break: FIFO among equal timestamps
+    std::uint32_t slot;  // index into slot_gen_ / slot_fn_
+    std::uint32_t gen;   // live iff slot_gen_[slot] == gen
   };
-  // Min-heap on (time, seq), hand-rolled so we can move EventFns around
-  // without the comparator copies std::priority_queue would do.
+  // Min-heap on (time, seq), hand-rolled with hole-based sifts (one final
+  // store per level instead of three-move swaps).
   static bool later(const Entry& a, const Entry& b) noexcept {
     if (a.time != b.time) return a.time > b.time;
     return a.seq > b.seq;
   }
+  static constexpr EventId encode(std::uint32_t slot,
+                                  std::uint32_t gen) noexcept {
+    return (static_cast<EventId>(gen) << 32) |
+           (static_cast<EventId>(slot) + 1);
+  }
+  bool live(const Entry& e) const noexcept {
+    return slot_gen_[e.slot] == e.gen;
+  }
   void sift_up(std::size_t i) noexcept;
   void sift_down(std::size_t i) noexcept;
+  /// Physically remove the heap root (no slot bookkeeping).
+  void remove_top() noexcept;
   /// Remove cancelled entries sitting at the heap top.
-  void drop_dead_tops();
+  void drop_dead_tops() noexcept;
 
   std::vector<Entry> heap_;
-  std::unordered_set<EventId> pending_;  // live (un-fired, un-cancelled) ids
+  std::vector<std::uint32_t> slot_gen_;  // current generation per slot
+  std::vector<EventFn> slot_fn_;         // closure storage per slot
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
+  std::size_t live_count_ = 0;
   std::size_t peak_size_ = 0;
 };
 

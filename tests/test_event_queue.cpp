@@ -107,6 +107,89 @@ TEST(EventQueue, TotalScheduledIsMonotonic) {
   EXPECT_EQ(queue.total_scheduled(), 2U);
 }
 
+// --- Targeted lock-in tests for cancel/pop semantics (captured before the
+// --- tombstone/slot-generation rewrite; the rewrite must keep them green).
+
+TEST(EventQueue, CancelThenPopSkipsToNextLiveEvent) {
+  EventQueue queue;
+  std::vector<int> order;
+  const EventId head = queue.push(1.0, [&] { order.push_back(1); });
+  queue.push(2.0, [&] { order.push_back(2); });
+  queue.push(3.0, [&] { order.push_back(3); });
+  EXPECT_TRUE(queue.cancel(head));
+  EXPECT_DOUBLE_EQ(queue.next_time(), 2.0);
+  auto popped = queue.pop();
+  EXPECT_DOUBLE_EQ(popped.time, 2.0);
+  popped.fn();
+  EXPECT_EQ(order, (std::vector<int>{2}));
+  EXPECT_EQ(queue.size(), 1U);
+}
+
+TEST(EventQueue, CancelAlreadyFiredIdNeverHitsALaterEvent) {
+  EventQueue queue;
+  const EventId fired = queue.push(1.0, [] {});
+  queue.pop();
+  // A new event scheduled after the fire must be untouchable through the
+  // stale handle, even if the queue recycles internal storage.
+  bool second_fired = false;
+  queue.push(2.0, [&] { second_fired = true; });
+  EXPECT_FALSE(queue.cancel(fired));
+  EXPECT_EQ(queue.size(), 1U);
+  queue.pop().fn();
+  EXPECT_TRUE(second_fired);
+}
+
+TEST(EventQueue, InterleavedFifoTiesSurviveCancellation) {
+  EventQueue queue;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 6; ++i) {
+    ids.push_back(queue.push(5.0, [&order, i] { order.push_back(i); }));
+  }
+  queue.cancel(ids[1]);
+  queue.cancel(ids[4]);
+  // New pushes at the same timestamp go to the back of the FIFO tie.
+  queue.push(5.0, [&order] { order.push_back(6); });
+  queue.push(5.0, [&order] { order.push_back(7); });
+  while (!queue.empty()) queue.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 3, 5, 6, 7}));
+}
+
+TEST(EventQueue, PeakAccountingCountsOnlyLiveEvents) {
+  EventQueue queue;
+  const EventId a = queue.push(1.0, [] {});
+  queue.push(2.0, [] {});
+  queue.push(3.0, [] {});
+  EXPECT_EQ(queue.peak_size(), 3U);
+  queue.cancel(a);
+  // Cancel does not retroactively lower the high-water mark...
+  EXPECT_EQ(queue.peak_size(), 3U);
+  // ...and a push replacing a cancelled event does not raise it either.
+  queue.push(4.0, [] {});
+  EXPECT_EQ(queue.size(), 3U);
+  EXPECT_EQ(queue.peak_size(), 3U);
+  queue.push(5.0, [] {});
+  EXPECT_EQ(queue.peak_size(), 4U);
+}
+
+TEST(EventQueue, PopAfterMassCancelFindsTheSurvivor) {
+  EventQueue queue;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(queue.push(static_cast<double>(i), [] {}));
+  }
+  bool survivor_fired = false;
+  const EventId survivor = queue.push(50.5, [&] { survivor_fired = true; });
+  for (const EventId id : ids) EXPECT_TRUE(queue.cancel(id));
+  EXPECT_EQ(queue.size(), 1U);
+  EXPECT_DOUBLE_EQ(queue.next_time(), 50.5);
+  auto popped = queue.pop();
+  EXPECT_EQ(popped.id, survivor);
+  popped.fn();
+  EXPECT_TRUE(survivor_fired);
+  EXPECT_TRUE(queue.empty());
+}
+
 // Property: under random interleavings of push/cancel/pop, the queue
 // behaves exactly like a sorted reference model.
 class EventQueueModelTest : public ::testing::TestWithParam<std::uint64_t> {};
@@ -114,8 +197,11 @@ class EventQueueModelTest : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(EventQueueModelTest, MatchesReferenceModel) {
   p2p::sim::RngStream rng(GetParam());
   EventQueue queue;
-  // Reference: map from (time, seq) to id, mirroring live events.
-  std::map<std::pair<double, EventId>, EventId> model;
+  // Reference: map from (time, push order) to id, mirroring live events.
+  // Ties at equal time break by push order — the FIFO contract — NOT by id
+  // value (ids are opaque handles and may be recycled internally).
+  std::map<std::pair<double, std::uint64_t>, EventId> model;
+  std::uint64_t push_counter = 0;
   std::vector<EventId> live_ids;
 
   for (int step = 0; step < 2000; ++step) {
@@ -123,7 +209,7 @@ TEST_P(EventQueueModelTest, MatchesReferenceModel) {
     if (roll < 0.55) {
       const double t = rng.uniform(0.0, 100.0);
       const EventId id = queue.push(t, [] {});
-      model.emplace(std::make_pair(t, id), id);
+      model.emplace(std::make_pair(t, push_counter++), id);
       live_ids.push_back(id);
     } else if (roll < 0.75 && !live_ids.empty()) {
       const auto pick = static_cast<std::size_t>(

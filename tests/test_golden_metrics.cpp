@@ -1,0 +1,121 @@
+// Golden fixed-seed metrics for the fig07 (connect messages, 50 nodes)
+// workload: a determinism tripwire for the batched-delivery / event-kernel
+// hot-path work.
+//
+// The constants below were captured from the per-receiver-event baseline
+// (before the batched-broadcast rewrite); the batched path must reproduce
+// them bit-for-bit because it preserves RNG draw order and observable
+// event ordering. Deliberately NOT covered: kernel telemetry
+// (events_processed, peak_queue_depth) — batching one arrival event per
+// broadcast legitimately changes those (see docs/performance.md).
+//
+// Regenerate after an intentional behavior change with:
+//   P2P_PRINT_GOLDEN=1 ./tests/test_golden_metrics
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <numeric>
+
+#include "core/factory.hpp"
+#include "scenario/parameters.hpp"
+#include "scenario/run.hpp"
+
+namespace {
+
+using namespace p2p;
+
+struct GoldenMetrics {
+  std::uint64_t frames_transmitted = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t frames_lost = 0;
+  std::uint64_t routing_control_messages = 0;
+  std::uint64_t data_delivered = 0;
+  std::uint64_t data_dropped = 0;
+  std::uint64_t connections_established = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t connect_received_sum = 0;
+  std::uint64_t ping_received_sum = 0;
+  std::uint64_t query_received_sum = 0;
+  double energy_consumed_j = 0.0;
+};
+
+GoldenMetrics run_workload(core::AlgorithmKind kind, double loss,
+                           double gray_zone) {
+  scenario::Parameters params;
+  params.num_nodes = 50;        // fig07 scenario
+  params.duration_s = 600.0;    // shortened from the paper's 3600 s
+  params.seed = 1;
+  params.algorithm = kind;
+  params.mac.loss_probability = loss;
+  params.mac.gray_zone_fraction = gray_zone;
+  scenario::SimulationRun run(params);
+  const scenario::RunResult r = run.run();
+
+  GoldenMetrics g;
+  g.frames_transmitted = r.frames_transmitted;
+  g.frames_delivered = r.frames_delivered;
+  g.frames_lost = r.frames_lost;
+  g.routing_control_messages = r.routing_control_messages;
+  g.data_delivered = r.data_delivered;
+  g.data_dropped = r.data_dropped;
+  g.connections_established = r.connections_established;
+  g.connections_closed = r.connections_closed;
+  for (const auto& c : r.counters) {
+    g.connect_received_sum += c.connect_received();
+    g.ping_received_sum += c.ping_received();
+    g.query_received_sum += c.query_received();
+  }
+  g.energy_consumed_j = r.energy_consumed_j;
+  return g;
+}
+
+void check(const GoldenMetrics& got, const GoldenMetrics& want) {
+  if (std::getenv("P2P_PRINT_GOLDEN") != nullptr) {
+    std::printf(
+        "{%lluU, %lluU, %lluU, %lluU, %lluU, %lluU, %lluU, %lluU, %lluU, "
+        "%lluU, %lluU, %.17g}\n",
+        (unsigned long long)got.frames_transmitted,
+        (unsigned long long)got.frames_delivered,
+        (unsigned long long)got.frames_lost,
+        (unsigned long long)got.routing_control_messages,
+        (unsigned long long)got.data_delivered,
+        (unsigned long long)got.data_dropped,
+        (unsigned long long)got.connections_established,
+        (unsigned long long)got.connections_closed,
+        (unsigned long long)got.connect_received_sum,
+        (unsigned long long)got.ping_received_sum,
+        (unsigned long long)got.query_received_sum, got.energy_consumed_j);
+    return;  // capture mode: print, skip assertions
+  }
+  EXPECT_EQ(got.frames_transmitted, want.frames_transmitted);
+  EXPECT_EQ(got.frames_delivered, want.frames_delivered);
+  EXPECT_EQ(got.frames_lost, want.frames_lost);
+  EXPECT_EQ(got.routing_control_messages, want.routing_control_messages);
+  EXPECT_EQ(got.data_delivered, want.data_delivered);
+  EXPECT_EQ(got.data_dropped, want.data_dropped);
+  EXPECT_EQ(got.connections_established, want.connections_established);
+  EXPECT_EQ(got.connections_closed, want.connections_closed);
+  EXPECT_EQ(got.connect_received_sum, want.connect_received_sum);
+  EXPECT_EQ(got.ping_received_sum, want.ping_received_sum);
+  EXPECT_EQ(got.query_received_sum, want.query_received_sum);
+  // Bit-identical double: summed in fixed order from deterministic draws.
+  EXPECT_EQ(got.energy_consumed_j, want.energy_consumed_j);
+}
+
+// Regular algorithm, ideal channel: the fig07 configuration.
+TEST(GoldenFig07, RegularIdealChannel) {
+  check(run_workload(core::AlgorithmKind::kRegular, 0.0, 0.0),
+        GoldenMetrics{38690U, 62203U, 0U, 17870U, 1119U, 651U, 268U, 193U,
+                      845U, 118U, 510U, 6.1527955000001038});
+}
+
+// Basic algorithm (heaviest flooding) under loss + gray zone, which
+// exercises the per-receiver RNG draws whose order batching must preserve.
+TEST(GoldenFig07, BasicLossyGrayZone) {
+  check(run_workload(core::AlgorithmKind::kBasic, 0.05, 0.2),
+        GoldenMetrics{22023U, 37790U, 9303U, 16892U, 1477U, 890U, 445U, 388U,
+                      1783U, 190U, 490U, 3.1745984999999992});
+}
+
+}  // namespace

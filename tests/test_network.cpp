@@ -2,12 +2,17 @@
 // charging, node failure, half-duplex serialization, and snapshots.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "mobility/model.hpp"
 #include "mobility/trace.hpp"
+#include "net/mac.hpp"
 #include "net/network.hpp"
+#include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
@@ -300,6 +305,147 @@ TEST(Network, MovingNodesChangeConnectivity) {
   EXPECT_TRUE(network.in_range(a, b));
   sim.run_until(20.0);  // b is now at x=25
   EXPECT_FALSE(network.in_range(a, b));
+}
+
+// Listener that appends (receiver, payload tag) to a shared log, so tests
+// can observe the *global* delivery order across all nodes.
+struct OrderRecorder final : net::LinkListener {
+  NodeId self = net::kInvalidNode;
+  std::vector<std::pair<int, NodeId>>* log = nullptr;
+  void on_frame(const Frame& frame) override {
+    const auto* payload = dynamic_cast<const TestPayload*>(frame.payload.get());
+    log->emplace_back(payload != nullptr ? payload->tag : -1, self);
+  }
+};
+
+// The batched arrival event must be observationally identical to the old
+// per-receiver-event baseline: survivors are delivered in receiver order
+// (the order receivers_of() reports), one broadcast after another.
+TEST(Network, BatchedBroadcastMatchesPerReceiverDeliveryOrder) {
+  Fixture f;
+  const NodeId a = f.add(0, 0);
+  std::vector<NodeId> listeners;
+  listeners.push_back(f.add(5, 0));
+  listeners.push_back(f.add(2, 2));
+  listeners.push_back(f.add(9, -1));
+  listeners.push_back(f.add(-4, 4));
+
+  std::vector<NodeId> order;
+  f.net->neighbors_of(a, &order);
+  ASSERT_EQ(order.size(), listeners.size());
+
+  std::vector<std::pair<int, NodeId>> log;
+  std::vector<OrderRecorder> recs(listeners.size());
+  for (std::size_t i = 0; i < listeners.size(); ++i) {
+    recs[i].self = listeners[i];
+    recs[i].log = &log;
+    f.net->attach_listener(listeners[i], &recs[i]);
+  }
+
+  const std::uint64_t before = f.sim.events_scheduled();
+  const int kFrames = 3;
+  for (int i = 0; i < kFrames; ++i) {
+    f.net->broadcast(a, std::make_shared<const TestPayload>(i), 64);
+  }
+  // One arrival event per transmission, regardless of receiver count.
+  EXPECT_EQ(f.sim.events_scheduled() - before,
+            static_cast<std::uint64_t>(kFrames));
+  f.sim.run();
+
+  std::vector<std::pair<int, NodeId>> expected;
+  for (int i = 0; i < kFrames; ++i) {
+    for (const NodeId r : order) expected.emplace_back(i, r);
+  }
+  EXPECT_EQ(log, expected);
+}
+
+// With loss and gray-zone fading enabled, the batched path must consume
+// mac RNG draws in the exact order the per-receiver baseline did: one
+// jitter draw per transmission, then a loss draw and a gray-zone draw per
+// in-range receiver, in receiver order. A twin RngStream seeded alike
+// replays that schedule and predicts every survivor.
+TEST(Network, BatchedBroadcastMatchesPerReceiverChannelDraws) {
+  sim::Simulator sim;
+  NetworkParams params;
+  params.range = 10.0;
+  params.mac.loss_probability = 0.3;
+  params.mac.gray_zone_fraction = 0.5;
+  const std::uint64_t kSeed = 7;
+  Network network(sim, params, sim::RngStream(kSeed));
+
+  std::vector<geo::Vec2> pos = {
+      {0, 0}, {2, 0}, {4, 1}, {8, 0}, {9.5, 0}, {6, -3}, {20, 20}};
+  std::vector<NodeId> ids;
+  for (const auto& p : pos) {
+    ids.push_back(network.add_node(std::make_unique<mobility::StaticModel>(p)));
+  }
+  const NodeId sender = ids[0];
+
+  std::vector<NodeId> order;
+  network.neighbors_of(sender, &order);  // consumes no RNG
+  ASSERT_EQ(order.size(), 5U);           // (20,20) is out of range
+
+  std::vector<std::pair<int, NodeId>> log;
+  std::vector<OrderRecorder> recs(ids.size());
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    recs[i].self = ids[i];
+    recs[i].log = &log;
+    network.attach_listener(ids[i], &recs[i]);
+  }
+
+  // Replay the baseline draw schedule on a twin stream.
+  sim::RngStream twin(kSeed);
+  std::vector<std::pair<int, NodeId>> expected;
+  std::size_t expected_lost = 0;
+  const int kFrames = 40;
+  for (int i = 0; i < kFrames; ++i) {
+    (void)twin.uniform(0.0, params.mac.jitter_max_s);  // schedule_tx jitter
+    for (const NodeId r : order) {
+      bool lost = twin.chance(params.mac.loss_probability);
+      if (!lost) {
+        const double dist = geo::distance(pos[sender], pos[r]);
+        lost = !twin.chance(
+            net::gray_zone_delivery_probability(params.mac, dist, params.range));
+      }
+      if (lost) {
+        ++expected_lost;
+      } else {
+        expected.emplace_back(i, r);
+      }
+    }
+  }
+
+  for (int i = 0; i < kFrames; ++i) {
+    network.broadcast(sender, std::make_shared<const TestPayload>(i), 64);
+  }
+  sim.run();
+
+  EXPECT_EQ(log, expected);
+  EXPECT_EQ(network.frames_lost(), expected_lost);
+  EXPECT_EQ(network.frames_delivered(), expected.size());
+}
+
+// The buffer-reuse overload of adjacency_snapshot must agree with the
+// value-returning one and must fully overwrite stale rows on reuse.
+TEST(Network, AdjacencySnapshotBufferReuseMatchesFresh) {
+  Fixture f;
+  f.add(0, 0);
+  const NodeId b = f.add(6, 0);
+  f.add(12, 0);
+
+  std::vector<std::vector<NodeId>> buffer;
+  f.net->adjacency_snapshot(&buffer);
+  EXPECT_EQ(buffer, f.net->adjacency_snapshot());
+
+  // Kill the hub and snapshot into the SAME buffer: every stale mention
+  // of b must be gone even though row capacity is recycled.
+  f.net->set_failed(b, true);
+  f.net->adjacency_snapshot(&buffer);
+  EXPECT_EQ(buffer, f.net->adjacency_snapshot());
+  EXPECT_TRUE(buffer[b].empty());
+  for (const auto& row : buffer) {
+    EXPECT_TRUE(std::find(row.begin(), row.end(), b) == row.end());
+  }
 }
 
 }  // namespace

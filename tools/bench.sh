@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Record a perf snapshot: build the bench preset, run both harness suites,
+# and append one JSON record per benchmark to BENCH_kernel.json and
+# BENCH_hotpath.json at the repo root (JSON Lines; see docs/performance.md).
+#
+# Usage: tools/bench.sh [label]
+#   label  tag stored in each record (default: current git short hash)
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+label="${1:-$(git -C "$repo" rev-parse --short HEAD 2>/dev/null || echo dev)}"
+
+cmake --preset bench -S "$repo" >/dev/null
+cmake --build --preset bench -j --target hotpath >/dev/null
+
+bin="$repo/build-bench/bench/hotpath"
+"$bin" --suite kernel  --label "$label" --out "$repo/BENCH_kernel.json"
+"$bin" --suite hotpath --label "$label" --out "$repo/BENCH_hotpath.json"
+echo "appended records labeled '$label' to BENCH_kernel.json / BENCH_hotpath.json"
