@@ -1,0 +1,52 @@
+// "Figure C" — overlay resilience under churn (paper §8 future work).
+//
+// Sweeps the node death/birth rate with the deterministic fault-injection
+// subsystem (src/fault) and reports, per algorithm: query success rate,
+// how long the live-member overlay stayed fragmented, the mean time from
+// fragmentation to repair, orphaned servents at the end, and the
+// invariant-checker verdict (always 0 — a non-zero count is a bug, not a
+// result).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bench;
+  scenario::Parameters base = paper_scenario(50);
+  base.duration_s = 900.0;  // churn effects show within minutes
+  base.fault.mean_downtime_s = 60.0;
+  base.invariant_check_interval_s = 30.0;
+  apply_cli(&base, argc, argv);
+  const std::size_t seeds =
+      std::min<std::size_t>(scenario::bench_seed_count(), 3);
+  print_header("Figure C", "overlay resilience vs churn rate", base, seeds);
+
+  const double churn_rates[] = {0.0, 4.0, 12.0};  // deaths/node/hour
+  stats::Table table({"algorithm", "churn/h", "deaths", "success %",
+                      "disrupted s", "repair s", "orphans", "violations"});
+  for (const auto kind : kAllAlgorithms) {
+    for (const double rate : churn_rates) {
+      scenario::Parameters params = base;
+      params.fault.churn_rate_per_hour = rate;
+      const auto result = run_algorithm(params, kind, seeds);
+      table.add_row(
+          {core::algorithm_name(kind), fmt(rate, 0),
+           fmt(result.churn_deaths.mean(), 1),
+           fmt(100.0 * result.query_success_rate.mean(), 1),
+           fmt(result.overlay_disrupted_s.mean(), 0),
+           result.mean_repair_time_s.count() > 0
+               ? fmt(result.mean_repair_time_s.mean(), 0)
+               : "-",
+           fmt(result.orphaned_servents.mean(), 1),
+           fmt(result.invariant_violations.mean(), 0)});
+    }
+  }
+  table.print(std::cout);
+  maybe_export_csv(table, "figC_churn_resilience");
+  std::cout << "\nexpected: at these rates a death lands every few seconds "
+               "while noticing one takes\nminute-scale ping timeouts, so the "
+               "live-member overlay stays disrupted almost\ncontinuously, "
+               "repairs only complete in the low-churn runs, and reborn "
+               "nodes\naccumulate as orphans under every algorithm; "
+               "violations must stay 0 (the checker\nis the oracle, not a "
+               "result).\n";
+  return 0;
+}

@@ -34,6 +34,7 @@ class BasicServent final : public Servent {
                             CloseReason reason) override;
   bool can_accept(NodeId from, ConnKind kind) const override;
   bool can_initiate(ConnKind kind) const override;
+  void on_crashed() override { disarm(tick_event_); }
 
  private:
   void establish_tick();

@@ -175,6 +175,20 @@ void HybridServent::arm_no_slave_watchdog() {
   });
 }
 
+void HybridServent::on_crashed() {
+  // Base already dropped the connection table; only the state machine's
+  // own events and bookkeeping remain. Silent — no Bye, no close hooks.
+  disarm(tick_event_);
+  disarm(reserve_timeout_);
+  disarm(no_slave_event_);
+  for (auto& [peer, event] : slave_reservations_) disarm(event);
+  slave_reservations_.clear();
+  master_probes_.clear();
+  master_candidate_ = net::kInvalidNode;
+  state_ = HybridState::kInitial;
+  search_.reset();
+}
+
 void HybridServent::revert_to_initial() {
   LOG_DEBUG(kTag, sim().now()) << "node " << self() << " reverts to initial";
   disarm(no_slave_event_);

@@ -49,6 +49,7 @@ class HybridServent final : public Servent {
   void on_request_failed(NodeId peer, ConnKind kind) override;
   bool can_accept(NodeId from, ConnKind kind) const override;
   bool can_initiate(ConnKind kind) const override;
+  void on_crashed() override;
 
  private:
   /// Total order on capability; node id breaks qualifier ties.

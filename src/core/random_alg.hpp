@@ -37,6 +37,14 @@ class RandomServent final : public RegularServent {
   void on_connection_closed(NodeId peer, ConnKind kind,
                             CloseReason reason) override;
   void on_request_failed(NodeId peer, ConnKind kind) override;
+  void on_crashed() override {
+    disarm(collect_event_);
+    collecting_ = false;
+    random_probe_id_ = 0;
+    best_offer_peer_ = net::kInvalidNode;
+    best_offer_distance_ = -1;
+    RegularServent::on_crashed();
+  }
 
  private:
   void finish_offer_collection(std::uint64_t probe_id);

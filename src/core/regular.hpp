@@ -36,6 +36,11 @@ class RegularServent : public Servent {
   void on_request_failed(NodeId peer, ConnKind kind) override;
   bool can_accept(NodeId from, ConnKind kind) const override;
   bool can_initiate(ConnKind kind) const override;
+  void on_crashed() override {
+    disarm(tick_event_);
+    search_.reset();
+    active_probes_.clear();
+  }
 
   /// How many more symmetric connections this node wants right now
   /// (Random overrides: it reserves the last slot for the random link).

@@ -99,6 +99,33 @@ void Servent::start() {
   }
 }
 
+void Servent::crash() {
+  P2P_ASSERT_MSG(started_, "crash() on a stopped servent");
+  started_ = false;
+  // Silent death: no Bye, no on_connection_closed, no counter bumps — the
+  // peers find out through their own maintenance timeouts.
+  for (const NodeId peer : conns_.peers()) {
+    Connection* conn = conns_.find(peer);
+    disarm(conn->ping_event);
+    disarm(conn->timeout_event);
+    conns_.remove(peer);
+  }
+  for (auto& [peer, pending] : pending_req_) disarm(pending.timeout);
+  pending_req_.clear();
+  disarm(query_event_);
+  pending_queries_.clear();
+  // A reborn node must not suppress queries it saw in a previous life;
+  // next_query_id_ / next_probe_id_ survive so its new ids stay unique.
+  seen_queries_.clear();
+  on_crashed();
+  LOG_DEBUG(kTag, ctx_.sim->now()) << "node " << self() << " crashed";
+}
+
+void Servent::rejoin() {
+  LOG_DEBUG(kTag, ctx_.sim->now()) << "node " << self() << " rejoins";
+  start();
+}
+
 void Servent::set_placement(const content::Placement* placement,
                             std::uint32_t member_index) {
   placement_ = placement;

@@ -66,6 +66,18 @@ class Servent {
   /// establish loop and (if configured) the query workload.
   void start();
 
+  /// Node crash: silently drop all volatile state — connections (no Bye,
+  /// no close-hook, not counted as "closed"), pending handshakes, pending
+  /// queries, the duplicate-query cache, and every scheduled event. The
+  /// monotonic id counters and the message/connection counters survive.
+  /// on_crashed() lets the algorithm drop its own state. After crash()
+  /// the servent is stopped; rejoin() brings it back.
+  void crash();
+
+  /// Restart a crashed servent as a fresh joiner (same identity, same RNG
+  /// stream, empty state). Equivalent to start() on the reborn node.
+  void rejoin();
+
   virtual AlgorithmKind algorithm() const noexcept = 0;
 
   /// Content this node shares. `member_index` is this servent's row in
@@ -79,6 +91,9 @@ class Servent {
   const MessageCounters& counters() const noexcept { return counters_; }
   const ConnectionTable& connections() const noexcept { return conns_; }
   bool holds(FileId file) const;
+  bool started() const noexcept { return started_; }
+  /// Read-only duplicate-query cache view for the invariant sweep.
+  const net::DupCache& seen_queries() const noexcept { return seen_queries_; }
 
   // Telemetry.
   std::uint64_t queries_sent() const noexcept { return queries_sent_; }
@@ -106,6 +121,9 @@ class Servent {
   virtual bool can_initiate(ConnKind kind) const = 0;
   /// A pending ConnectRequest failed (rejected or timed out).
   virtual void on_request_failed(NodeId peer, ConnKind kind) {}
+  /// The node crashed (base state already dropped): cancel algorithm-level
+  /// events and forget algorithm-level volatile state, silently.
+  virtual void on_crashed() {}
   /// Maintenance distance bound; < 0 disables the check (Basic).
   virtual int max_distance_for(ConnKind kind) const;
 

@@ -1,0 +1,68 @@
+// Walks a compiled FaultPlan against the simulator clock and applies each
+// fault to the network, delegating the protocol-state consequences (wiping
+// a crashed node's routing tables, overlay links and dup caches; re-joining
+// on recovery) to scenario-provided hooks so this layer stays decoupled
+// from the servent types.
+//
+// One self-rescheduling cursor event drains the plan: at each firing every
+// plan entry with the current timestamp is applied, the boundary hook runs
+// once (the invariant checker sweeps at every fault boundary), and the
+// cursor re-arms for the next distinct time. Cost when the plan is empty:
+// zero events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "fault/plan.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace p2p::fault {
+
+/// Scenario-level reactions to fault events. All optional.
+struct FaultHooks {
+  /// Node was just administratively failed; clear its volatile protocol
+  /// state (routing tables, overlay connections, dup caches).
+  std::function<void(net::NodeId)> on_crash;
+  /// Node was just revived; restart its protocol stack.
+  std::function<void(net::NodeId)> on_recover;
+  /// All faults at one timestamp have been applied (invariant sweep point).
+  std::function<void(sim::SimTime)> on_boundary;
+};
+
+struct FaultStats {
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t crashes_skipped = 0;  // node already down (battery death)
+  std::uint64_t blackouts = 0;
+  std::uint64_t bursts = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulator& simulator, net::Network& network,
+                FaultPlan plan, FaultHooks hooks);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedule the cursor for the first plan entry. Call once after build.
+  void arm();
+
+  const FaultStats& stats() const noexcept { return stats_; }
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  void fire();
+  void apply(const FaultEvent& event);
+
+  sim::Simulator* sim_;
+  net::Network* net_;
+  FaultPlan plan_;
+  FaultHooks hooks_;
+  std::size_t cursor_ = 0;
+  FaultStats stats_;
+};
+
+}  // namespace p2p::fault

@@ -1,0 +1,60 @@
+// Fault-model knobs (§8 "future work" experiments made concrete).
+//
+// Three independent fault processes, all driven by named RNG streams so a
+// faulted run stays bit-reproducible across thread counts (see
+// docs/determinism.md and docs/faults.md):
+//   * node churn   — crash/recover cycles per node (exponential up/down);
+//   * link blackouts — a random pair loses its link for a while (an
+//     obstacle, interference, a directional fade);
+//   * loss bursts  — Gilbert-Elliott channel: the whole channel drops into
+//     a high-loss "bad" state with exponential sojourn times.
+//
+// This header is standalone (no simulator/network includes) so that
+// scenario::Parameters can embed it without a dependency cycle.
+#pragma once
+
+namespace p2p::fault {
+
+struct FaultParams {
+  // ---- node churn ----
+  // Expected crashes per node per hour; 0 disables churn.
+  double churn_rate_per_hour = 0.0;
+  // Mean up time in seconds; when > 0 it overrides churn_rate_per_hour
+  // (mean_uptime_s == 3600 / rate).
+  double mean_uptime_s = 0.0;
+  // Mean down time (exponential) before the node is reborn.
+  double mean_downtime_s = 120.0;
+
+  // ---- per-link blackouts ----
+  // Expected blackout events per hour network-wide; 0 disables.
+  double blackout_rate_per_hour = 0.0;
+  // Mean blackout duration in seconds (exponential).
+  double blackout_duration_s = 30.0;
+
+  // ---- Gilbert-Elliott loss bursts ----
+  // Expected transitions into the bad state per hour; 0 disables.
+  double burst_rate_per_hour = 0.0;
+  // Mean bad-state sojourn in seconds (exponential).
+  double burst_duration_s = 10.0;
+  // Extra loss probability while the bad state is active. Composes with
+  // the base MAC loss: p_eff = 1 - (1 - p_base) * (1 - p_burst).
+  double burst_loss_probability = 0.8;
+
+  bool churn_enabled() const noexcept {
+    return churn_rate_per_hour > 0.0 || mean_uptime_s > 0.0;
+  }
+  bool blackouts_enabled() const noexcept {
+    return blackout_rate_per_hour > 0.0 && blackout_duration_s > 0.0;
+  }
+  bool bursts_enabled() const noexcept {
+    return burst_rate_per_hour > 0.0 && burst_duration_s > 0.0 &&
+           burst_loss_probability > 0.0;
+  }
+  /// Any fault process active? When false the scenario builds no fault
+  /// machinery at all (pay-for-what-you-use).
+  bool enabled() const noexcept {
+    return churn_enabled() || blackouts_enabled() || bursts_enabled();
+  }
+};
+
+}  // namespace p2p::fault

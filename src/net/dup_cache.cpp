@@ -17,6 +17,32 @@ bool DupCache::insert(NodeId origin, std::uint64_t id, sim::SimTime now) {
   return true;
 }
 
+void DupCache::clear() noexcept {
+  seen_.clear();
+  fifo_.clear();
+}
+
+bool DupCache::validate(sim::SimTime now, std::string* why) const {
+  const auto fail = [&](const std::string& reason) {
+    if (why != nullptr) *why = reason;
+    return false;
+  };
+  if (seen_.size() != fifo_.size()) {
+    return fail("map/fifo size mismatch: " + std::to_string(seen_.size()) +
+                " vs " + std::to_string(fifo_.size()));
+  }
+  sim::SimTime prev = -1.0;
+  for (const auto& [time, key] : fifo_) {
+    if (time < prev) return fail("fifo times out of order");
+    prev = time;
+    if (time > now) return fail("entry recorded in the future");
+    const auto it = seen_.find(key);
+    if (it == seen_.end()) return fail("fifo entry missing from map");
+    if (it->second != time) return fail("fifo/map time mismatch");
+  }
+  return true;
+}
+
 bool DupCache::contains(NodeId origin, std::uint64_t id,
                         sim::SimTime now) const {
   // Expiry is lazy (insert-driven), so an entry may still be physically

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <unordered_map>
 
 #include "net/types.hpp"
@@ -34,6 +35,15 @@ class DupCache {
   bool contains(NodeId origin, std::uint64_t id, sim::SimTime now) const;
 
   std::size_t size() const noexcept { return seen_.size(); }
+
+  /// Forget everything (node crash/rebirth: a reborn node must not carry
+  /// sightings from its previous life).
+  void clear() noexcept;
+
+  /// Internal-consistency check for the invariant sweep: the map and the
+  /// expiry FIFO agree, FIFO times are non-decreasing, and no recorded
+  /// insertion lies in the future. Fills `why` (if non-null) on failure.
+  bool validate(sim::SimTime now, std::string* why = nullptr) const;
 
  private:
   using Key = std::uint64_t;

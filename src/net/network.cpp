@@ -51,6 +51,50 @@ void Network::set_failed(NodeId id, bool failed) {
   nodes_[id].failed = failed;
 }
 
+namespace {
+std::uint64_t link_key(NodeId a, NodeId b) noexcept {
+  const NodeId lo = a < b ? a : b;
+  const NodeId hi = a < b ? b : a;
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+}  // namespace
+
+void Network::set_link_blackout(NodeId a, NodeId b, sim::SimTime until) {
+  P2P_ASSERT(a < nodes_.size() && b < nodes_.size() && a != b);
+  sim::SimTime& end = blackouts_[link_key(a, b)];
+  if (until > end) end = until;
+}
+
+bool Network::link_blacked_out(NodeId a, NodeId b) const {
+  if (blackouts_.empty()) return false;
+  const auto it = blackouts_.find(link_key(a, b));
+  return it != blackouts_.end() && it->second > sim_->now();
+}
+
+bool Network::link_usable(NodeId a, NodeId b) {
+  if (!alive(a) || !alive(b)) return false;
+  if (!in_range(a, b)) return false;
+  return !link_blacked_out(a, b);
+}
+
+bool Network::channel_lost(const geo::Vec2& from, const geo::Vec2& to) {
+  double loss_p = params_.mac.loss_probability;
+  if (burst_loss_ > 0.0) {
+    // Gilbert-Elliott bad state: compose with the base loss. With the
+    // burst inactive this is exactly the base probability, including the
+    // draw-only-when-positive fast path, so zero-fault runs stay
+    // bit-identical.
+    loss_p = 1.0 - (1.0 - loss_p) * (1.0 - burst_loss_);
+  }
+  bool lost = loss_p > 0.0 && mac_rng_.chance(loss_p);
+  if (!lost && params_.mac.gray_zone_fraction > 0.0) {
+    const double dist = geo::distance(from, to);
+    lost = !mac_rng_.chance(
+        gray_zone_delivery_probability(params_.mac, dist, params_.range));
+  }
+  return lost;
+}
+
 EnergyModel& Network::energy(NodeId id) {
   P2P_ASSERT(id < nodes_.size());
   return nodes_[id].energy;
@@ -215,19 +259,16 @@ void Network::broadcast(NodeId sender, FramePayloadPtr payload,
   // runs stay bit-identical (asserted by Network.BatchedBroadcastMatches*
   // and the golden fig07 test).
   const double r2 = params_.range * params_.range;
+  const bool have_blackouts = !blackouts_.empty();
   const std::uint32_t batch = acquire_batch();
   for (const NodeId cand : scratch_candidates_) {
     if (cand == sender || !alive(cand)) continue;
     const geo::Vec2 rp = position_of(cand);
     if (geo::distance2(sender_pos, rp) > r2) continue;
-    bool lost = params_.mac.loss_probability > 0.0 &&
-                mac_rng_.chance(params_.mac.loss_probability);
-    if (!lost && params_.mac.gray_zone_fraction > 0.0) {
-      const double dist = geo::distance(sender_pos, rp);
-      lost = !mac_rng_.chance(
-          gray_zone_delivery_probability(params_.mac, dist, params_.range));
-    }
-    if (lost) {
+    // A blacked-out link behaves like out-of-range: silently skipped, no
+    // channel draws (keeps draw order fault-free-identical).
+    if (have_blackouts && link_blacked_out(sender, cand)) continue;
+    if (channel_lost(sender_pos, rp)) {
       ++frames_lost_;
       if (observer_ != nullptr) {
         observer_->on_drop(sim_->now(), sender, cand, bytes);
@@ -263,21 +304,15 @@ void Network::unicast(NodeId sender, NodeId neighbor, FramePayloadPtr payload,
     observer_->on_transmit(sim_->now(), sender, neighbor, bytes);
   }
 
-  if (!alive(neighbor) || !in_range(sender, neighbor)) {
+  if (!alive(neighbor) || !in_range(sender, neighbor) ||
+      link_blacked_out(sender, neighbor)) {
     ++frames_lost_;
     if (observer_ != nullptr) {
       observer_->on_drop(sim_->now(), sender, neighbor, bytes);
     }
     return;
   }
-  bool lost = params_.mac.loss_probability > 0.0 &&
-              mac_rng_.chance(params_.mac.loss_probability);
-  if (!lost && params_.mac.gray_zone_fraction > 0.0) {
-    const double dist = geo::distance(position_of(sender), position_of(neighbor));
-    lost = !mac_rng_.chance(
-        gray_zone_delivery_probability(params_.mac, dist, params_.range));
-  }
-  if (lost) {
+  if (channel_lost(position_of(sender), position_of(neighbor))) {
     ++frames_lost_;
     if (observer_ != nullptr) {
       observer_->on_drop(sim_->now(), sender, neighbor, bytes);

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "geo/vec2.hpp"
@@ -85,6 +86,26 @@ class Network {
   /// Administrative kill/revive (churn experiments).
   void set_failed(NodeId id, bool failed);
 
+  // ---- fault injection (src/fault). All of these are pay-for-what-you-
+  // use: with no blackouts and no burst the hot paths below take exactly
+  // the same branches and RNG draws as before the fault layer existed. ----
+
+  /// Suppress the link between `a` and `b` (both directions) until `until`.
+  /// Extends an existing blackout if one is active.
+  void set_link_blackout(NodeId a, NodeId b, sim::SimTime until);
+  /// Is the (a, b) link currently blacked out?
+  bool link_blacked_out(NodeId a, NodeId b) const;
+  /// Gilbert-Elliott bad state: extra loss probability composed with the
+  /// base MAC loss (p_eff = 1 - (1-p_base)(1-p_burst)); 0 restores the
+  /// good state.
+  void set_burst_loss(double p) noexcept { burst_loss_ = p; }
+  double burst_loss() const noexcept { return burst_loss_; }
+
+  /// Can a frame from `a` currently reach `b`? Liveness + range + blackout
+  /// in one query — the link-break predicate the routing layer should use
+  /// (a dead-but-in-range next hop is just as gone as an out-of-range one).
+  bool link_usable(NodeId a, NodeId b);
+
   sim::Simulator& simulator() noexcept { return *sim_; }
   const NetworkParams& params() const noexcept { return params_; }
 
@@ -136,6 +157,16 @@ class Network {
   std::vector<std::vector<NodeId>> batch_pool_;
   std::vector<std::uint32_t> free_batches_;
   std::size_t degree_hint_ = 0;  // mean degree seen by the last snapshot
+
+  /// One channel-level draw with blackout/burst folded in. Returns true if
+  /// the frame is lost. RNG draw order matches the pre-fault code exactly
+  /// whenever burst_loss_ == 0.
+  bool channel_lost(const geo::Vec2& from, const geo::Vec2& to);
+
+  // Active link blackouts keyed by the normalized (min,max) pair; entries
+  // are erased lazily when queried past their end time.
+  std::unordered_map<std::uint64_t, sim::SimTime> blackouts_;
+  double burst_loss_ = 0.0;
 
   NetObserver* observer_ = nullptr;
   std::uint64_t frames_tx_ = 0;

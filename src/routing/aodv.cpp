@@ -40,7 +40,7 @@ void AodvAgent::send(NodeId dst, AppPayloadPtr app) {
     // Using the route keeps it (and the next hop's entry) alive.
     table_.refresh(dst, sim_->now() + params_.active_route_timeout);
     table_.refresh(route->next_hop, sim_->now() + params_.active_route_timeout);
-    if (!net_->in_range(self_, route->next_hop)) {
+    if (!net_->link_usable(self_, route->next_hop)) {
       handle_link_break(route->next_hop);
       // Fall through to discovery with the packet queued.
       auto& pending = pending_[dst];
@@ -275,7 +275,7 @@ void AodvAgent::handle_rrep(NodeId from, const Rrep& rrep) {
   // Forward toward the originator along the reverse route.
   Route* reverse = table_.find_active(rrep.origin, sim_->now());
   if (reverse == nullptr) return;  // reverse path expired — RREP dies here
-  if (!net_->in_range(self_, reverse->next_hop)) {
+  if (!net_->link_usable(self_, reverse->next_hop)) {
     handle_link_break(reverse->next_hop);
     return;
   }
@@ -289,6 +289,17 @@ void AodvAgent::handle_rrep(NodeId from, const Rrep& rrep) {
   ++stats_.rrep_forwarded;
   net_->unicast(self_, reverse->next_hop, std::make_shared<const Rrep>(fwd),
                 kRrepBytes);
+}
+
+void AodvAgent::reset() {
+  for (auto& [dst, pending] : pending_) {
+    if (pending.timeout != sim::kInvalidEventId) sim_->cancel(pending.timeout);
+    stats_.data_dropped += pending.queue.size();
+  }
+  pending_.clear();
+  table_.clear();
+  rreq_seen_.clear();
+  // own_seq_ / next_bcast_id_ deliberately survive (see header).
 }
 
 void AodvAgent::handle_rerr(NodeId from, const Rerr& rerr) {
@@ -329,7 +340,7 @@ void AodvAgent::send_rerr_to_precursors(const std::vector<NodeId>& lost_dsts) {
   const auto payload = std::make_shared<const Rerr>(rerr);
   const std::size_t bytes = rerr_bytes(rerr);
   for (const NodeId p : precursors) {
-    if (net_->in_range(self_, p)) {
+    if (net_->link_usable(self_, p)) {
       ++stats_.rerr_sent;
       net_->unicast(self_, p, payload, bytes);
     }
@@ -356,7 +367,7 @@ void AodvAgent::route_data(DataMsg data) {
     net_->broadcast(self_, std::make_shared<const Rerr>(rerr), bytes);
     return;
   }
-  if (!net_->in_range(self_, route->next_hop)) {
+  if (!net_->link_usable(self_, route->next_hop)) {
     handle_link_break(route->next_hop);
     ++stats_.data_dropped;
     return;

@@ -101,9 +101,18 @@ class AodvAgent final : public net::LinkListener, public RoutingService {
                      stats_.data_delivered, stats_.data_dropped};
   }
 
+  /// Node crash: drop the routing table, the RREQ duplicate cache, and
+  /// every pending discovery (cancelling their timeouts and dropping their
+  /// buffered packets) without transmitting anything. own_seq_ and
+  /// next_bcast_id_ survive — a reborn node must not reuse (origin, id)
+  /// pairs its neighbors may still remember.
+  void reset() override;
+
   const AodvStats& stats() const noexcept { return stats_; }
   NodeId self() const noexcept { return self_; }
   RoutingTable& table() noexcept { return table_; }
+  /// Read-only RREQ duplicate-cache view for the invariant sweep.
+  const net::DupCache& rreq_cache() const noexcept { return rreq_seen_; }
 
  private:
   struct PendingDiscovery {

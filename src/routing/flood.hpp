@@ -53,6 +53,15 @@ class FloodService final : public net::LinkListener {
   const FloodStats& stats() const noexcept { return stats_; }
   NodeId self() const noexcept { return self_; }
 
+  /// Node crash: forget all sightings (the reborn node must not suppress
+  /// the first flood it should forward — its cache is volatile state) but
+  /// keep next_flood_id_ so its own future floods are never mistaken for
+  /// replays of pre-crash ones.
+  void on_crash() { seen_.clear(); }
+
+  /// Read-only cache view for the invariant sweep.
+  const net::DupCache& dup_cache() const noexcept { return seen_; }
+
  private:
   sim::Simulator* sim_;
   net::Network* net_;

@@ -58,6 +58,15 @@ class RoutingTable {
 
   std::size_t size() const noexcept { return routes_.size(); }
 
+  /// Forget every route, sequence numbers included (node crash: a reborn
+  /// node starts from an empty table, RFC 3561 §6.13 handles seq reuse).
+  void clear() noexcept { routes_.clear(); }
+
+  /// Full table view for cross-layer invariant sweeps (read-only).
+  const std::unordered_map<NodeId, Route>& all() const noexcept {
+    return routes_;
+  }
+
  private:
   std::unordered_map<NodeId, Route> routes_;
 };

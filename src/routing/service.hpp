@@ -32,6 +32,12 @@ class RoutingService {
   virtual void learn_route(net::NodeId dst, net::NodeId via,
                            std::uint8_t hops) = 0;
 
+  /// Drop all volatile protocol state (routes, pending discoveries, caches)
+  /// without sending anything — the node crashed. Monotonic identifiers
+  /// (sequence numbers, broadcast ids) survive so the reborn node never
+  /// reuses a stale id. Default: nothing to drop.
+  virtual void reset() {}
+
   /// True if a usable route to dst currently exists.
   virtual bool has_route(net::NodeId dst) = 0;
   /// Hop count of the current route, or -1.

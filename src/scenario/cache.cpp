@@ -68,8 +68,11 @@ std::string canonical_parameters(const Parameters& p, std::size_t num_seeds) {
   // broadcast delivery — all message/energy metrics are bit-identical to
   // v6, but events_processed (a serialized stat) counts one arrival event
   // per broadcast instead of one per receiver, so v6 entries would report
-  // stale kernel telemetry.
-  os << "code-v7\n";
+  // stale kernel telemetry. v8: fault-injection subsystem — zero-fault
+  // runs are bit-identical to v7, but churned runs changed semantics
+  // (exponential downtime, per-node RNG streams, crashed nodes now lose
+  // protocol state) and v7 entries lack the churn-metric stats.
+  os << "code-v8\n";
   put(os, "area_width", p.area_width);
   put(os, "area_height", p.area_height);
   put(os, "radio_range", p.radio_range);
@@ -128,6 +131,33 @@ std::string canonical_parameters(const Parameters& p, std::size_t num_seeds) {
   }
   put(os, "churn_rate", p.churn_death_rate_per_hour);
   put(os, "churn_down", p.churn_down_time);
+  // Fault-injection knobs, non-default-only (their defaults are exact
+  // behavioral no-ops, so fault-free entries keep their keys).
+  {
+    const fault::FaultParams fault_defaults;
+    if (p.fault.churn_rate_per_hour != fault_defaults.churn_rate_per_hour ||
+        p.fault.mean_uptime_s != fault_defaults.mean_uptime_s ||
+        p.fault.mean_downtime_s != fault_defaults.mean_downtime_s) {
+      put(os, "fault_churn_rate", p.fault.churn_rate_per_hour);
+      put(os, "fault_mean_uptime", p.fault.mean_uptime_s);
+      put(os, "fault_mean_downtime", p.fault.mean_downtime_s);
+    }
+    if (p.fault.blackouts_enabled()) {
+      put(os, "fault_blackout_rate", p.fault.blackout_rate_per_hour);
+      put(os, "fault_blackout_duration", p.fault.blackout_duration_s);
+    }
+    if (p.fault.bursts_enabled()) {
+      put(os, "fault_burst_rate", p.fault.burst_rate_per_hour);
+      put(os, "fault_burst_duration", p.fault.burst_duration_s);
+      put(os, "fault_burst_loss", p.fault.burst_loss_probability);
+    }
+    if (p.invariant_check_interval_s != 0.0) {
+      put(os, "invariant_check_interval", p.invariant_check_interval_s);
+    }
+    if (p.fault_monitor_interval_s != 10.0) {
+      put(os, "fault_monitor_interval", p.fault_monitor_interval_s);
+    }
+  }
   put(os, "aodv_art", p.aodv.active_route_timeout);
   put(os, "aodv_my_rt", p.aodv.my_route_timeout);
   put(os, "aodv_ntt", p.aodv.node_traversal_time);
@@ -229,6 +259,22 @@ bool load_cached(const Parameters& params, std::size_t num_seeds,
   } else if (!read_stat(is, &r.connections_closed)) {
     r.connections_closed = stats::RunningStat{};
   }
+  // Churn-metric block (code-v8); all-or-nothing, empty when absent.
+  {
+    stats::RunningStat* churn_stats[] = {
+        &r.churn_deaths,       &r.query_success_rate, &r.overlay_disrupted_s,
+        &r.mean_repair_time_s, &r.orphaned_servents,  &r.invariant_violations};
+    bool complete = true;
+    for (auto* stat : churn_stats) {
+      if (!read_stat(is, stat)) {
+        complete = false;
+        break;
+      }
+    }
+    if (!complete) {
+      for (auto* stat : churn_stats) *stat = stats::RunningStat{};
+    }
+  }
   *result = std::move(r);
   return true;
 }
@@ -259,7 +305,10 @@ void store_cached(const Parameters& params, std::size_t num_seeds,
         &result.routing_control, &result.overlay_clustering,
         &result.overlay_path_length, &result.overlay_components,
         &result.masters, &result.slaves, &result.events_processed,
-        &result.connections_established, &result.connections_closed}) {
+        &result.connections_established, &result.connections_closed,
+        &result.churn_deaths, &result.query_success_rate,
+        &result.overlay_disrupted_s, &result.mean_repair_time_s,
+        &result.orphaned_servents, &result.invariant_violations}) {
     write_stat(os, *stat);
     os << '\n';
   }

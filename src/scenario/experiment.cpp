@@ -46,6 +46,15 @@ void aggregate(ExperimentResult* result, const RunResult& run) {
   result->connections_established.add(
       static_cast<double>(run.connections_established));
   result->connections_closed.add(static_cast<double>(run.connections_closed));
+  result->churn_deaths.add(static_cast<double>(run.churn_deaths));
+  result->query_success_rate.add(run.query_success_rate());
+  result->overlay_disrupted_s.add(run.overlay_disrupted_s);
+  if (run.overlay_repairs > 0) {
+    result->mean_repair_time_s.add(run.mean_repair_time_s);
+  }
+  result->orphaned_servents.add(static_cast<double>(run.orphaned_servents));
+  result->invariant_violations.add(
+      static_cast<double>(run.invariant_violations));
 }
 
 }  // namespace
@@ -103,6 +112,9 @@ ExperimentResult run_experiment_with(
         t.frames_rx = slots[idx].frames_delivered;
         t.frames_lost = slots[idx].frames_lost;
         t.peak_queue_depth = slots[idx].peak_queue_depth;
+        t.churn_deaths = slots[idx].churn_deaths;
+        t.invariant_violations = slots[idx].invariant_violations;
+        t.overlay_disrupted_s = slots[idx].overlay_disrupted_s;
         telemetry->set(idx, t);
       }
       if (on_run_done) on_run_done(idx, num_seeds);  // no lock held

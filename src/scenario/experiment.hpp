@@ -60,6 +60,15 @@ struct ExperimentResult {
   stats::RunningStat events_processed;
   stats::RunningStat connections_established;  // reconfiguration volume
   stats::RunningStat connections_closed;
+
+  // "Figure C" family: overlay behavior under churn/faults. All zero-count
+  // (or zero-valued) when fault injection is disabled.
+  stats::RunningStat churn_deaths;
+  stats::RunningStat query_success_rate;   // answered / completed requests
+  stats::RunningStat overlay_disrupted_s;  // live overlay fragmented time
+  stats::RunningStat mean_repair_time_s;   // only over runs with repairs
+  stats::RunningStat orphaned_servents;
+  stats::RunningStat invariant_violations;
 };
 
 /// Thrown on the caller thread when a repetition fails inside a worker.

@@ -87,6 +87,17 @@ std::string Parameters::apply(const util::Config& config) {
   get_d("churn_death_rate_per_hour", &churn_death_rate_per_hour);
   get_d("churn_down_time", &churn_down_time);
 
+  get_d("churn_rate", &fault.churn_rate_per_hour);
+  get_d("mean_uptime", &fault.mean_uptime_s);
+  get_d("mean_downtime", &fault.mean_downtime_s);
+  get_d("link_blackout_rate", &fault.blackout_rate_per_hour);
+  get_d("link_blackout_duration", &fault.blackout_duration_s);
+  get_d("loss_burst_rate", &fault.burst_rate_per_hour);
+  get_d("loss_burst_duration", &fault.burst_duration_s);
+  get_d("loss_burst_loss", &fault.burst_loss_probability);
+  get_d("invariant_check_interval", &invariant_check_interval_s);
+  get_d("fault_monitor_interval", &fault_monitor_interval_s);
+
   if (const auto v = config.get_string("qualifier_dist")) {
     if (*v == "uniform") qualifier_dist = QualifierDist::kUniformPermutation;
     else if (*v == "two_class") qualifier_dist = QualifierDist::kTwoClass;

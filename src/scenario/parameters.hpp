@@ -10,6 +10,7 @@
 #include <string>
 
 #include "core/params.hpp"
+#include "fault/params.hpp"
 #include "net/energy.hpp"
 #include "net/mac.hpp"
 #include "routing/aodv.hpp"
@@ -69,9 +70,18 @@ struct Parameters {
   QualifierDist qualifier_dist = QualifierDist::kUniformPermutation;
 
   // ---- churn (future-work experiments, §8) ----
-  // Expected failures/revivals per node per hour; 0 disables.
+  // Legacy aliases for fault.churn_rate_per_hour / fault.mean_downtime_s;
+  // kept for existing configs, folded into `fault` when it is untouched.
   double churn_death_rate_per_hour = 0.0;
   sim::SimTime churn_down_time = 120.0;  // how long a failed node stays down
+
+  // ---- fault injection (src/fault: churn, blackouts, loss bursts) ----
+  fault::FaultParams fault;
+  // Cross-layer invariant sweep interval; 0 disables the checker entirely
+  // (it is also swept at every fault boundary when enabled).
+  double invariant_check_interval_s = 0.0;
+  // Overlay-repair / orphan sampling cadence while faults are active.
+  double fault_monitor_interval_s = 10.0;
 
   // ---- measurement ----
   double overlay_sample_interval_s = 300.0;  // overlay-graph metric samples

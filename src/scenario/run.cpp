@@ -1,6 +1,8 @@
 #include "scenario/run.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <numeric>
 
 #include "content/zipf.hpp"
@@ -84,14 +86,6 @@ void SimulationRun::build() {
         sim_, *network_, id, routing_.back().get()));
   }
 
-  // Churn: schedule random failures with exponential inter-arrival times.
-  if (params_.churn_death_rate_per_hour > 0.0) {
-    churn_rng_ = std::make_unique<sim::RngStream>(rngs_.stream("churn"));
-    for (std::size_t i = 0; i < params_.num_nodes; ++i) {
-      schedule_churn(static_cast<net::NodeId>(i));
-    }
-  }
-
   // Pick the P2P members: a seeded random subset of 75% of the nodes.
   std::vector<net::NodeId> ids(params_.num_nodes);
   std::iota(ids.begin(), ids.end(), 0U);
@@ -166,24 +160,140 @@ void SimulationRun::build() {
     sim_.after(params_.overlay_sample_interval_s,
                Sampler{this, params_.overlay_sample_interval_s});
   }
+
+  // Node -> servent map for the fault seams (nullptr for non-members).
+  servent_of_node_.assign(params_.num_nodes, nullptr);
+  for (std::size_t idx = 0; idx < m; ++idx) {
+    servent_of_node_[members_[idx]] = servents_[idx].get();
+  }
+  crashed_member_.assign(params_.num_nodes, 0);
+
+  // Invariant checker (off by default; observational only).
+  if (params_.invariant_check_interval_s > 0.0) {
+    checker_ = std::make_unique<fault::InvariantChecker>(*network_);
+    for (auto& servent : servents_) checker_->add_servent(servent.get());
+    for (auto& agent : routing_) {
+      if (auto* aodv = dynamic_cast<routing::AodvAgent*>(agent.get())) {
+        checker_->add_aodv(aodv);
+      }
+    }
+    for (auto& flood : flood_) checker_->add_flood(flood.get());
+    network_->set_observer(checker_.get());
+    struct Sweeper {
+      SimulationRun* run;
+      double interval;
+      void operator()() const {
+        run->checker_->sweep(run->sim_.now());
+        run->sim_.after(interval, *this);
+      }
+    };
+    sim_.after(params_.invariant_check_interval_s,
+               Sweeper{this, params_.invariant_check_interval_s});
+  }
+
+  // Fault injection: churn, link blackouts, loss bursts. The legacy
+  // churn_death_rate_per_hour knob folds into the fault plan when the new
+  // churn fields are untouched.
+  fault::FaultParams fparams = params_.fault;
+  if (!fparams.churn_enabled() && params_.churn_death_rate_per_hour > 0.0) {
+    fparams.churn_rate_per_hour = params_.churn_death_rate_per_hour;
+    fparams.mean_downtime_s = params_.churn_down_time;
+  }
+  if (fparams.enabled()) {
+    fault::FaultPlan plan = fault::FaultPlan::compile(
+        fparams, params_.num_nodes, params_.duration_s, rngs_);
+    fault::FaultHooks hooks;
+    hooks.on_crash = [this](net::NodeId id) { crash_node(id); };
+    hooks.on_recover = [this](net::NodeId id) { recover_node(id); };
+    hooks.on_boundary = [this](sim::SimTime now) {
+      if (checker_) checker_->sweep(now);
+    };
+    injector_ = std::make_unique<fault::FaultInjector>(
+        sim_, *network_, std::move(plan), std::move(hooks));
+    injector_->arm();
+    if (params_.fault_monitor_interval_s > 0.0) {
+      struct Monitor {
+        SimulationRun* run;
+        double interval;
+        void operator()() const {
+          run->fault_monitor_tick();
+          run->sim_.after(interval, *this);
+        }
+      };
+      sim_.after(params_.fault_monitor_interval_s,
+                 Monitor{this, params_.fault_monitor_interval_s});
+    }
+  }
 }
 
-void SimulationRun::schedule_churn(net::NodeId id) {
-  // Exponential time until this node's next failure.
-  const double mean_s = 3600.0 / params_.churn_death_rate_per_hour;
-  const sim::SimTime until_death = churn_rng_->exponential(mean_s);
-  sim_.after(until_death, [this, id] {
-    if (!network_->alive(id)) {
-      schedule_churn(id);  // already down (battery); try again later
-      return;
+void SimulationRun::crash_node(net::NodeId id) {
+  P2P_ASSERT(id < params_.num_nodes);
+  network_->set_failed(id, true);
+  // Volatile state dies with the node; monotonic ids survive inside each
+  // component (see FloodService::on_crash / RoutingService::reset).
+  flood_[id]->on_crash();
+  routing_[id]->reset();
+  if (core::Servent* s = servent_of_node_[id]; s != nullptr && s->started()) {
+    s->crash();
+    crashed_member_[id] = 1;
+  }
+  if (checker_) checker_->note_node_down(id, sim_.now());
+}
+
+void SimulationRun::recover_node(net::NodeId id) {
+  P2P_ASSERT(id < params_.num_nodes);
+  network_->set_failed(id, false);
+  if (checker_) checker_->note_node_up(id, sim_.now());
+  // Only servents crash_node() stopped are restarted here — a servent whose
+  // join event has not fired yet starts through that event instead.
+  if (crashed_member_[id] != 0) {
+    crashed_member_[id] = 0;
+    servent_of_node_[id]->rejoin();
+  }
+}
+
+void SimulationRun::fault_monitor_tick() {
+  // Overlay connectivity restricted to live, running members: fragmented
+  // means some live member cannot reach some other live member over the
+  // reference graph. Dead members are excluded — losing them is not a
+  // failure the overlay can repair.
+  std::vector<std::uint32_t> live;  // member indices
+  for (std::size_t idx = 0; idx < members_.size(); ++idx) {
+    if (network_->alive(members_[idx]) && servents_[idx]->started()) {
+      live.push_back(static_cast<std::uint32_t>(idx));
     }
-    network_->set_failed(id, true);
-    ++churn_deaths_;
-    sim_.after(params_.churn_down_time, [this, id] {
-      network_->set_failed(id, false);  // "birth": the node rejoins
-      schedule_churn(id);
-    });
-  });
+  }
+  bool fragmented = false;
+  if (live.size() > 1) {
+    const graph::Graph g = overlay_graph();
+    // BFS from the first live member over live members only.
+    std::vector<char> seen(members_.size(), 0);
+    std::vector<char> is_live(members_.size(), 0);
+    for (const auto idx : live) is_live[idx] = 1;
+    std::vector<std::uint32_t> queue{live.front()};
+    seen[live.front()] = 1;
+    std::size_t reached = 1;
+    while (!queue.empty()) {
+      const std::uint32_t v = queue.back();
+      queue.pop_back();
+      for (const auto w : g.neighbors(v)) {
+        if (is_live[w] == 0 || seen[w] != 0) continue;
+        seen[w] = 1;
+        ++reached;
+        queue.push_back(w);
+      }
+    }
+    fragmented = reached < live.size();
+  }
+  const sim::SimTime now = sim_.now();
+  if (fragmented && !overlay_fragmented_) {
+    overlay_fragmented_ = true;
+    fragmented_since_ = now;
+  } else if (!fragmented && overlay_fragmented_) {
+    overlay_fragmented_ = false;
+    repair_time_total_ += now - fragmented_since_;
+    ++overlay_repairs_;
+  }
 }
 
 graph::Graph SimulationRun::overlay_graph() const {
@@ -271,7 +381,44 @@ RunResult SimulationRun::collect() {
   }
   result.events_processed = sim_.events_processed();
   result.peak_queue_depth = sim_.peak_events_pending();
-  result.churn_deaths = churn_deaths_;
+
+  if (injector_) {
+    const fault::FaultStats& fstats = injector_->stats();
+    result.churn_deaths = fstats.crashes;
+    result.churn_recoveries = fstats.recoveries;
+    result.link_blackouts = fstats.blackouts;
+    result.loss_bursts = fstats.bursts;
+    // A disruption still open at the end counts as disrupted time (but not
+    // as a completed repair).
+    double disrupted = repair_time_total_;
+    if (overlay_fragmented_) disrupted += sim_.now() - fragmented_since_;
+    result.overlay_disrupted_s = disrupted;
+    result.overlay_repairs = overlay_repairs_;
+    result.mean_repair_time_s =
+        overlay_repairs_ == 0
+            ? 0.0
+            : repair_time_total_ / static_cast<double>(overlay_repairs_);
+    for (std::size_t idx = 0; idx < servents_.size(); ++idx) {
+      const net::NodeId id = members_[idx];
+      if (network_->alive(id) && servents_[idx]->started() &&
+          servents_[idx]->connections().size() == 0) {
+        ++result.orphaned_servents;
+      }
+    }
+  }
+  if (checker_) {
+    result.invariant_violations = checker_->violations_total();
+    // Diagnostic escape hatch: dump recorded violations to stderr so a
+    // failing zero-violation assertion can be triaged without a debugger.
+    if (result.invariant_violations > 0 &&
+        std::getenv("P2P_DUMP_VIOLATIONS") != nullptr) {
+      for (const fault::Violation& v : checker_->violations()) {
+        std::fprintf(stderr, "violation t=%.3f node=%u %s: %s\n", v.time,
+                     v.node, fault::invariant_kind_name(v.kind),
+                     v.detail.c_str());
+      }
+    }
+  }
 
   result.overlay_samples = overlay_samples_;
   result.overlay_final = graph::analyze(overlay_graph());

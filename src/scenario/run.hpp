@@ -13,6 +13,8 @@
 #include "content/catalog.hpp"
 #include "core/counters.hpp"
 #include "core/servent.hpp"
+#include "fault/injector.hpp"
+#include "fault/invariants.hpp"
 #include "graph/metrics.hpp"
 #include "mobility/model.hpp"
 #include "net/network.hpp"
@@ -77,8 +79,34 @@ struct RunResult {
   std::uint64_t data_delivered = 0;
   std::uint64_t data_dropped = 0;
 
-  // Churn accounting (0 when churn is disabled).
+  // Churn/fault accounting (all 0 when fault injection is disabled).
   std::uint64_t churn_deaths = 0;
+  std::uint64_t churn_recoveries = 0;
+  std::uint64_t link_blackouts = 0;
+  std::uint64_t loss_bursts = 0;
+  // Overlay repair under churn ("Figure C" family): time the live-member
+  // overlay spent fragmented, how many disruptions were repaired, and the
+  // mean time from fragmentation to repair (monitor-tick resolution).
+  double overlay_disrupted_s = 0.0;
+  std::uint64_t overlay_repairs = 0;
+  double mean_repair_time_s = 0.0;
+  // Live members that finished the run with zero references.
+  std::size_t orphaned_servents = 0;
+  // Cross-layer invariant checker (0 when disabled — and on healthy runs).
+  std::uint64_t invariant_violations = 0;
+
+  /// Fraction of completed requests that got >= 1 answer (query success
+  /// rate; the churn experiments plot this against churn_rate).
+  double query_success_rate() const noexcept {
+    std::uint64_t requests = 0, answered = 0;
+    for (const auto& f : per_file) {
+      requests += f.requests;
+      answered += f.answered;
+    }
+    return requests == 0 ? 0.0
+                         : static_cast<double>(answered) /
+                               static_cast<double>(requests);
+  }
 
   // Overlay reconfiguration volume: connection (reference) set-ups and
   // tear-downs summed over all members — the cost the paper's algorithms
@@ -129,11 +157,26 @@ class SimulationRun final : public core::QueryRecorder {
   /// reference (references are usable one-way).
   graph::Graph overlay_graph() const;
 
+  // ---- fault seams (also used as FaultInjector hooks) -------------------
+  /// Kill `id` now: network down, routing/flood/dup-cache state dropped,
+  /// servent (if a started member) silently loses all overlay state.
+  void crash_node(net::NodeId id);
+  /// Revive `id`: network up; a crashed member servent rejoins fresh.
+  void recover_node(net::NodeId id);
+
+  /// Non-null after build() when fault injection is enabled.
+  const fault::FaultInjector* injector() const noexcept {
+    return injector_.get();
+  }
+  /// Non-null after build() when invariant_check_interval_s > 0.
+  fault::InvariantChecker* invariant_checker() noexcept {
+    return checker_.get();
+  }
+
  private:
   void sample_overlay();
+  void fault_monitor_tick();
   RunResult collect();
-
-  void schedule_churn(net::NodeId id);
 
   Parameters params_;
   sim::RngManager rngs_;
@@ -141,13 +184,23 @@ class SimulationRun final : public core::QueryRecorder {
   std::unique_ptr<net::Network> network_;
   std::vector<std::unique_ptr<routing::RoutingService>> routing_;
   std::vector<std::unique_ptr<routing::FloodService>> flood_;
-  std::unique_ptr<sim::RngStream> churn_rng_;
-  std::uint64_t churn_deaths_ = 0;
   std::vector<net::NodeId> members_;  // member index -> node id
   std::vector<std::unique_ptr<core::Servent>> servents_;
   std::unique_ptr<content::Placement> placement_;
   std::vector<FileRankStats> per_file_;
   std::vector<graph::SmallWorldMetrics> overlay_samples_;
+
+  // Fault machinery (constructed only when enabled — zero-cost otherwise).
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<fault::InvariantChecker> checker_;
+  std::vector<core::Servent*> servent_of_node_;  // nullptr for non-members
+  std::vector<char> crashed_member_;  // member servent is down right now
+  // Overlay-repair bookkeeping (fault monitor).
+  bool overlay_fragmented_ = false;
+  sim::SimTime fragmented_since_ = 0.0;
+  double repair_time_total_ = 0.0;
+  std::uint64_t overlay_repairs_ = 0;
+
   bool built_ = false;
 };
 

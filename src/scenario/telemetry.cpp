@@ -45,7 +45,14 @@ std::string RunTelemetry::to_jsonl() const {
        << ",\"events_per_sec\":" << s.events_per_sec
        << ",\"frames_tx\":" << s.frames_tx << ",\"frames_rx\":" << s.frames_rx
        << ",\"frames_lost\":" << s.frames_lost
-       << ",\"peak_queue_depth\":" << s.peak_queue_depth << "}\n";
+       << ",\"peak_queue_depth\":" << s.peak_queue_depth;
+    if (s.churn_deaths != 0 || s.invariant_violations != 0 ||
+        s.overlay_disrupted_s != 0.0) {
+      os << ",\"churn_deaths\":" << s.churn_deaths
+         << ",\"invariant_violations\":" << s.invariant_violations
+         << ",\"overlay_disrupted_s\":" << s.overlay_disrupted_s;
+    }
+    os << "}\n";
   }
   return os.str();
 }

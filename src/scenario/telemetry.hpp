@@ -25,6 +25,11 @@ struct SeedTelemetry {
   std::uint64_t frames_rx = 0;
   std::uint64_t frames_lost = 0;
   std::size_t peak_queue_depth = 0;  // event-queue high-water mark
+  // Fault telemetry (all zero on fault-free runs; emitted to the manifest
+  // only when any is non-zero, keeping fault-free manifests byte-stable).
+  std::uint64_t churn_deaths = 0;
+  std::uint64_t invariant_violations = 0;
+  double overlay_disrupted_s = 0.0;
 };
 
 /// Telemetry for one multi-seed experiment. Workers fill disjoint

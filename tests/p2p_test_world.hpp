@@ -97,6 +97,7 @@ class World {
     return static_cast<core::HybridServent&>(*servents_[id]);
   }
   routing::AodvAgent& aodv(net::NodeId id) { return *aodv_[id]; }
+  routing::FloodService& flood(net::NodeId id) { return *flood_[id]; }
 
   bool connected(net::NodeId a, net::NodeId b) {
     return servents_[a]->connections().connected(b);

@@ -56,7 +56,21 @@ void print_single_run(scenario::SimulationRun& run,
               << result.slaves << " slaves\n";
   }
   if (result.churn_deaths > 0) {
-    std::cout << "churn: " << result.churn_deaths << " node failures\n";
+    std::cout << "churn: " << result.churn_deaths << " node failures, "
+              << result.churn_recoveries << " recoveries\n";
+  }
+  if (result.link_blackouts + result.loss_bursts > 0) {
+    std::cout << "link faults: " << result.link_blackouts << " blackouts, "
+              << result.loss_bursts << " loss bursts\n";
+  }
+  if (result.overlay_disrupted_s > 0.0 || result.orphaned_servents > 0) {
+    std::cout << "overlay disruption: " << result.overlay_disrupted_s
+              << " s, " << result.overlay_repairs << " repairs, "
+              << result.orphaned_servents << " orphans\n";
+  }
+  if (result.invariant_violations > 0) {
+    std::cout << "INVARIANT VIOLATIONS: " << result.invariant_violations
+              << " (simulator bug — see docs/faults.md)\n";
   }
   std::cout << "overlay: " << result.overlay_final.edges << " edges, C="
             << result.overlay_final.clustering
