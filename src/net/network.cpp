@@ -21,7 +21,11 @@ NodeId Network::add_node(std::unique_ptr<mobility::MobilityModel> mobility,
   state.mobility = std::move(mobility);
   state.energy = EnergyModel(energy);
   nodes_.push_back(std::move(state));
-  return static_cast<NodeId>(nodes_.size() - 1);
+  pos_cache_.emplace_back();
+  down_.push_back(0);
+  const auto id = static_cast<NodeId>(nodes_.size() - 1);
+  refresh_down(id);  // a zero-capacity battery is dead on arrival
+  return id;
 }
 
 void Network::attach_listener(NodeId id, LinkListener* listener) {
@@ -32,58 +36,73 @@ void Network::attach_listener(NodeId id, LinkListener* listener) {
 
 geo::Vec2 Network::position_of(NodeId id) {
   P2P_ASSERT(id < nodes_.size());
-  NodeState& node = nodes_[id];
+  PosCache& cache = pos_cache_[id];
   const sim::SimTime now = sim_->now();
-  if (node.cached_pos_time != now) {
-    node.cached_pos = node.mobility->position_at(now);
-    node.cached_pos_time = now;
+  if (cache.time != now) {
+    cache.pos = nodes_[id].mobility->position_at(now);
+    cache.time = now;
   }
-  return node.cached_pos;
-}
-
-bool Network::alive(NodeId id) const {
-  P2P_ASSERT(id < nodes_.size());
-  return !nodes_[id].failed && nodes_[id].energy.alive();
+  return cache.pos;
 }
 
 void Network::set_failed(NodeId id, bool failed) {
   P2P_ASSERT(id < nodes_.size());
   nodes_[id].failed = failed;
+  refresh_down(id);
 }
 
-namespace {
-std::uint64_t link_key(NodeId a, NodeId b) noexcept {
-  const NodeId lo = a < b ? a : b;
-  const NodeId hi = a < b ? b : a;
-  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+void Network::remap_blackouts() {
+  const std::size_t n = nodes_.size();
+  std::vector<sim::SimTime> next(n * n, 0.0);
+  for (std::size_t lo = 0; lo < blackout_n_; ++lo) {
+    for (std::size_t hi = lo + 1; hi < blackout_n_; ++hi) {
+      next[lo * n + hi] = blackout_until_[lo * blackout_n_ + hi];
+    }
+  }
+  blackout_until_ = std::move(next);
+  blackout_n_ = n;
 }
-}  // namespace
 
 void Network::set_link_blackout(NodeId a, NodeId b, sim::SimTime until) {
   P2P_ASSERT(a < nodes_.size() && b < nodes_.size() && a != b);
-  sim::SimTime& end = blackouts_[link_key(a, b)];
+  if (blackout_n_ != nodes_.size()) remap_blackouts();
+  sim::SimTime& end = blackout_until_[link_index(a, b)];
   if (until > end) end = until;
+  if (until > blackout_horizon_) blackout_horizon_ = until;
+  faults_active_ = true;
 }
 
 bool Network::link_blacked_out(NodeId a, NodeId b) const {
-  if (blackouts_.empty()) return false;
-  const auto it = blackouts_.find(link_key(a, b));
-  return it != blackouts_.end() && it->second > sim_->now();
+  // Matrix is only allocated once a blackout has been set; nodes added
+  // afterwards sit outside it and can never have a recorded blackout.
+  if (a >= blackout_n_ || b >= blackout_n_) return false;
+  return blackout_until_[link_index(a, b)] > sim_->now();
 }
 
 bool Network::link_usable(NodeId a, NodeId b) {
   if (!alive(a) || !alive(b)) return false;
   if (!in_range(a, b)) return false;
-  return !link_blacked_out(a, b);
+  return !(faults_active() && link_blacked_out(a, b));
 }
 
 bool Network::channel_lost(const geo::Vec2& from, const geo::Vec2& to) {
+  const double loss_p = params_.mac.loss_probability;
+  bool lost = loss_p > 0.0 && mac_rng_.chance(loss_p);
+  if (!lost && params_.mac.gray_zone_fraction > 0.0) {
+    const double dist = geo::distance(from, to);
+    lost = !mac_rng_.chance(
+        gray_zone_delivery_probability(params_.mac, dist, params_.range));
+  }
+  return lost;
+}
+
+bool Network::channel_lost_faulted(const geo::Vec2& from, const geo::Vec2& to) {
   double loss_p = params_.mac.loss_probability;
   if (burst_loss_ > 0.0) {
     // Gilbert-Elliott bad state: compose with the base loss. With the
     // burst inactive this is exactly the base probability, including the
-    // draw-only-when-positive fast path, so zero-fault runs stay
-    // bit-identical.
+    // draw-only-when-positive fast path, so faulted-but-burst-free runs
+    // stay bit-identical.
     loss_p = 1.0 - (1.0 - loss_p) * (1.0 - burst_loss_);
   }
   bool lost = loss_p > 0.0 && mac_rng_.chance(loss_p);
@@ -201,6 +220,7 @@ void Network::deliver(NodeId receiver, const Frame& frame) {
     return;
   }
   node.energy.consume_rx(frame.size_bytes);
+  refresh_down(receiver);  // rx cost may have emptied the battery
   ++frames_rx_;
   if (observer_ != nullptr) {
     observer_->on_deliver(sim_->now(), receiver, frame.sender, frame.size_bytes);
@@ -241,6 +261,7 @@ void Network::broadcast(NodeId sender, FramePayloadPtr payload,
   if (!alive(sender)) return;
   NodeState& node = nodes_[sender];
   node.energy.consume_tx(bytes);
+  refresh_down(sender);  // tx cost may have emptied the battery
   ++frames_tx_;
   if (observer_ != nullptr) {
     observer_->on_transmit(sim_->now(), sender, kBroadcast, bytes);
@@ -259,7 +280,10 @@ void Network::broadcast(NodeId sender, FramePayloadPtr payload,
   // runs stay bit-identical (asserted by Network.BatchedBroadcastMatches*
   // and the golden fig07 test).
   const double r2 = params_.range * params_.range;
-  const bool have_blackouts = !blackouts_.empty();
+  // One gate test per transmission: with no active blackout and no burst
+  // the loop below is the exact pre-fault fast path (no per-candidate
+  // blackout lookup, no burst compose in the channel draw).
+  const bool faulted = faults_active();
   const std::uint32_t batch = acquire_batch();
   for (const NodeId cand : scratch_candidates_) {
     if (cand == sender || !alive(cand)) continue;
@@ -267,8 +291,10 @@ void Network::broadcast(NodeId sender, FramePayloadPtr payload,
     if (geo::distance2(sender_pos, rp) > r2) continue;
     // A blacked-out link behaves like out-of-range: silently skipped, no
     // channel draws (keeps draw order fault-free-identical).
-    if (have_blackouts && link_blacked_out(sender, cand)) continue;
-    if (channel_lost(sender_pos, rp)) {
+    if (faulted && link_blacked_out(sender, cand)) continue;
+    const bool lost = faulted ? channel_lost_faulted(sender_pos, rp)
+                              : channel_lost(sender_pos, rp);
+    if (lost) {
       ++frames_lost_;
       if (observer_ != nullptr) {
         observer_->on_drop(sim_->now(), sender, cand, bytes);
@@ -299,20 +325,25 @@ void Network::unicast(NodeId sender, NodeId neighbor, FramePayloadPtr payload,
   if (!alive(sender)) return;
   NodeState& node = nodes_[sender];
   node.energy.consume_tx(bytes);
+  refresh_down(sender);  // tx cost may have emptied the battery
   ++frames_tx_;
   if (observer_ != nullptr) {
     observer_->on_transmit(sim_->now(), sender, neighbor, bytes);
   }
 
+  const bool faulted = faults_active();
   if (!alive(neighbor) || !in_range(sender, neighbor) ||
-      link_blacked_out(sender, neighbor)) {
+      (faulted && link_blacked_out(sender, neighbor))) {
     ++frames_lost_;
     if (observer_ != nullptr) {
       observer_->on_drop(sim_->now(), sender, neighbor, bytes);
     }
     return;
   }
-  if (channel_lost(position_of(sender), position_of(neighbor))) {
+  const bool lost =
+      faulted ? channel_lost_faulted(position_of(sender), position_of(neighbor))
+              : channel_lost(position_of(sender), position_of(neighbor));
+  if (lost) {
     ++frames_lost_;
     if (observer_ != nullptr) {
       observer_->on_drop(sim_->now(), sender, neighbor, bytes);

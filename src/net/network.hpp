@@ -12,7 +12,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "geo/vec2.hpp"
@@ -23,6 +22,7 @@
 #include "net/types.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
+#include "util/assert.hpp"
 
 namespace p2p::net {
 
@@ -81,8 +81,15 @@ class Network {
   EnergyModel& energy(NodeId id);
   const EnergyModel& energy(NodeId id) const;
 
-  /// Down = battery empty or administratively failed.
-  bool alive(NodeId id) const;
+  /// Down = battery empty or administratively failed. Answered from a
+  /// dense byte array (kept in sync at the three points liveness can
+  /// change: add_node, set_failed, and energy consumption inside the
+  /// delivery paths) so the candidate-filter loops never touch the cold
+  /// NodeState structs.
+  bool alive(NodeId id) const noexcept {
+    P2P_ASSERT(id < down_.size());
+    return down_[id] == 0;
+  }
   /// Administrative kill/revive (churn experiments).
   void set_failed(NodeId id, bool failed);
 
@@ -98,8 +105,24 @@ class Network {
   /// Gilbert-Elliott bad state: extra loss probability composed with the
   /// base MAC loss (p_eff = 1 - (1-p_base)(1-p_burst)); 0 restores the
   /// good state.
-  void set_burst_loss(double p) noexcept { burst_loss_ = p; }
+  void set_burst_loss(double p) noexcept {
+    burst_loss_ = p;
+    if (p > 0.0) faults_active_ = true;
+  }
   double burst_loss() const noexcept { return burst_loss_; }
+
+  /// Single gate for the whole fault subsystem: true only while a loss
+  /// burst is in force or some link blackout can still be active. The
+  /// delivery loops test this once per transmission; while it is false
+  /// they execute the exact pre-fault fast path (no per-candidate blackout
+  /// lookup, no burst compose). Self-clearing: once every blackout end
+  /// time has passed and the burst is off, the flag drops back to false.
+  bool faults_active() noexcept {
+    if (!faults_active_) return false;
+    if (burst_loss_ > 0.0 || blackout_horizon_ > sim_->now()) return true;
+    faults_active_ = false;
+    return false;
+  }
 
   /// Can a frame from `a` currently reach `b`? Liveness + range + blackout
   /// in one query — the link-break predicate the routing layer should use
@@ -118,15 +141,22 @@ class Network {
   std::uint64_t frames_lost() const noexcept { return frames_lost_; }
 
  private:
+  // Cold per-node state: touched on add/attach, at transmit time (energy,
+  // tx serialization), and at delivery fan-out. The fields the candidate
+  // loops read per neighbor — position memo and liveness — are split into
+  // the dense pos_cache_/down_ arrays below (structure-of-arrays), so a
+  // range filter over k candidates touches k*24 bytes, not k NodeStates.
   struct NodeState {
     std::unique_ptr<mobility::MobilityModel> mobility;
     EnergyModel energy;
     std::vector<LinkListener*> listeners;
     bool failed = false;
     sim::SimTime next_free_tx = 0.0;
-    // position_of memoization, keyed by the simulated instant.
-    geo::Vec2 cached_pos{0.0, 0.0};
-    sim::SimTime cached_pos_time = -1.0;  // SimTime is never negative
+  };
+  // position_of memoization, keyed by the simulated instant.
+  struct PosCache {
+    geo::Vec2 pos{0.0, 0.0};
+    sim::SimTime time = -1.0;  // SimTime is never negative
   };
 
   /// Refresh the spatial index (and the position scratch buffer).
@@ -143,10 +173,19 @@ class Network {
   /// serialization); advances the node's busy horizon.
   sim::SimTime schedule_tx(NodeState& node, double duration);
 
+  /// Recompute down_[id] from the authoritative NodeState (failed flag +
+  /// battery); called wherever either input can change.
+  void refresh_down(NodeId id) noexcept {
+    down_[id] = static_cast<std::uint8_t>(nodes_[id].failed ||
+                                          !nodes_[id].energy.alive());
+  }
+
   sim::Simulator* sim_;
   NetworkParams params_;
   sim::RngStream mac_rng_;
   std::vector<NodeState> nodes_;
+  std::vector<PosCache> pos_cache_;  // hot: position memo per node
+  std::vector<std::uint8_t> down_;   // hot: 1 = failed or battery dead
   NeighborIndex index_;
   std::vector<geo::Vec2> scratch_positions_;
   std::vector<NodeId> scratch_candidates_;
@@ -158,15 +197,39 @@ class Network {
   std::vector<std::uint32_t> free_batches_;
   std::size_t degree_hint_ = 0;  // mean degree seen by the last snapshot
 
-  /// One channel-level draw with blackout/burst folded in. Returns true if
-  /// the frame is lost. RNG draw order matches the pre-fault code exactly
-  /// whenever burst_loss_ == 0.
+  /// One channel-level draw (base loss + gray zone) — the fault-free fast
+  /// path; callers check faults_active() and take channel_lost_faulted()
+  /// instead while a burst may be in force.
   bool channel_lost(const geo::Vec2& from, const geo::Vec2& to);
+  /// Same draw with the Gilbert-Elliott burst composed into the base loss.
+  /// Identical RNG draw order to channel_lost() when burst_loss_ == 0.
+  bool channel_lost_faulted(const geo::Vec2& from, const geo::Vec2& to);
 
-  // Active link blackouts keyed by the normalized (min,max) pair; entries
-  // are erased lazily when queried past their end time.
-  std::unordered_map<std::uint64_t, sim::SimTime> blackouts_;
+  /// Flat index of the unordered link {a,b} in blackout_until_ (row-major
+  /// over the normalized lo < hi pair).
+  std::size_t link_index(NodeId a, NodeId b) const noexcept {
+    const NodeId lo = a < b ? a : b;
+    const NodeId hi = a < b ? b : a;
+    return static_cast<std::size_t>(lo) * blackout_n_ + hi;
+  }
+  /// (Re)allocate blackout_until_ for the current node count, carrying
+  /// existing end times across.
+  void remap_blackouts();
+
+  // Dense link-state matrix: end-of-blackout time per unordered node pair,
+  // 0.0 (i.e. "ended before the simulation began") when never blacked out.
+  // Lazily allocated on the first set_link_blackout — fault-free runs pay
+  // neither the O(n^2) memory nor any lookup (faults_active() gates every
+  // consultation) — and epoch-stamped: expired entries need no eviction,
+  // the end-time comparison against now() is the whole query.
+  std::vector<sim::SimTime> blackout_until_;
+  std::size_t blackout_n_ = 0;  // node count the matrix was sized for
   double burst_loss_ = 0.0;
+  // Latest end time over every blackout ever set (monotone); with the
+  // burst off, faults_active() compares it against now() to decide when
+  // the fault gate can drop.
+  sim::SimTime blackout_horizon_ = 0.0;
+  bool faults_active_ = false;
 
   NetObserver* observer_ = nullptr;
   std::uint64_t frames_tx_ = 0;
