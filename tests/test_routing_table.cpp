@@ -1,0 +1,190 @@
+// RoutingTable freshness edge cases (RFC 3561 §6.2, §6.11).
+//
+// These tests pin the exact sequence-number/hop-count replacement rules
+// and the lifecycle corners (expiry invalidates but keeps the sequence
+// number, precursors survive updates, slots reset across clear()) so any
+// representation change underneath — the table is a dense per-NodeId
+// array today — is verified against the same observable semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "routing/routing_table.hpp"
+
+namespace {
+
+using p2p::net::NodeId;
+using p2p::routing::Route;
+using p2p::routing::RoutingTable;
+
+// ------------------------------------------------------- §6.2 freshness --
+
+TEST(RoutingTableFreshness, EqualSeqFewerHopsReplaces) {
+  RoutingTable table;
+  table.update(7, /*next_hop=*/3, /*hops=*/4, /*seq=*/10, true, 100.0);
+  // Same sequence number: strictly fewer hops wins, ties and worse lose.
+  EXPECT_TRUE(table.is_better(7, 10, true, 3, 0.0));
+  EXPECT_FALSE(table.is_better(7, 10, true, 4, 0.0));
+  EXPECT_FALSE(table.is_better(7, 10, true, 5, 0.0));
+}
+
+TEST(RoutingTableFreshness, SequenceComparisonIsSigned32) {
+  RoutingTable table;
+  // Near the wrap point: 0x7fffffff + 1 is "newer" under signed rollover
+  // arithmetic even though it is numerically smaller modulo 2^32.
+  table.update(7, 3, 2, 0x7fffffffU, true, 100.0);
+  EXPECT_TRUE(table.is_better(7, 0x80000000U, true, 9, 0.0));
+  table.update(7, 3, 2, 0xffffffffU, true, 100.0);
+  EXPECT_TRUE(table.is_better(7, 0U, true, 9, 0.0));   // wraps to newer
+  EXPECT_FALSE(table.is_better(7, 0xfffffff0U, true, 1, 0.0));
+}
+
+TEST(RoutingTableFreshness, InvalidSeqOnOfferLosesToValidRoute) {
+  RoutingTable table;
+  table.update(7, 3, 2, 10, /*seq_valid=*/true, 100.0);
+  // An offer with no sequence information never displaces a valid,
+  // sequence-numbered route — even with fewer hops.
+  EXPECT_FALSE(table.is_better(7, 0, /*seq_valid=*/false, 1, 0.0));
+}
+
+TEST(RoutingTableFreshness, InvalidSeqOnOwnRouteAlwaysLoses) {
+  RoutingTable table;
+  // Our route has no sequence info (hello-derived): any offer wins.
+  table.update(7, 3, 1, 0, /*seq_valid=*/false, 100.0);
+  EXPECT_TRUE(table.is_better(7, 0, false, 9, 0.0));
+  EXPECT_TRUE(table.is_better(7, 1, true, 9, 0.0));
+}
+
+TEST(RoutingTableFreshness, InvalidOrExpiredRouteIsAlwaysReplaceable) {
+  RoutingTable table;
+  table.update(7, 3, 2, 10, true, 100.0);
+  EXPECT_FALSE(table.is_better(7, 9, true, 1, 50.0));  // valid: older seq loses
+  EXPECT_TRUE(table.is_better(7, 9, true, 9, 100.0));  // expired: anything wins
+  table.invalidate(7);
+  EXPECT_TRUE(table.is_better(7, 1, true, 9, 0.0));    // invalid: anything wins
+}
+
+// --------------------------------------------------------- expiry corner --
+
+TEST(RoutingTableExpiry, ExpiryInvalidatesButKeepsSeq) {
+  RoutingTable table;
+  table.update(7, 3, 2, 10, true, 100.0);
+  // find_active at/past the expiry invalidates as a side effect …
+  EXPECT_EQ(table.find_active(7, 100.0), nullptr);
+  const Route* r = table.find(7);
+  ASSERT_NE(r, nullptr);
+  EXPECT_FALSE(r->valid);
+  // … but the sequence number survives for future freshness comparisons
+  // (it was NOT bumped — that only happens on invalidate()).
+  EXPECT_EQ(r->dst_seq, 10U);
+  EXPECT_TRUE(r->seq_valid);
+  EXPECT_FALSE(table.is_better(7, 9, true, 1, 100.0) == false);  // replaceable
+}
+
+TEST(RoutingTableExpiry, InvalidateBumpsSeqOnceAndOnlyWhileValid) {
+  RoutingTable table;
+  table.update(7, 3, 2, 10, true, 100.0);
+  EXPECT_TRUE(table.invalidate(7));
+  EXPECT_EQ(table.find(7)->dst_seq, 11U);  // §6.11 increment
+  EXPECT_TRUE(table.invalidate(7));        // already invalid: entry exists …
+  EXPECT_EQ(table.find(7)->dst_seq, 11U);  // … but no double bump
+}
+
+TEST(RoutingTableExpiry, UpdateOnlyExtendsLifetime) {
+  RoutingTable table;
+  table.update(7, 3, 2, 10, true, 100.0);
+  // A re-install with a shorter lifetime must not shorten the route's life
+  // (update() keeps the max expiry).
+  table.update(7, 4, 1, 11, true, 50.0);
+  EXPECT_NE(table.find_active(7, 99.0), nullptr);
+  EXPECT_EQ(table.find_active(7, 99.0)->next_hop, 4U);
+}
+
+// ------------------------------------------------------------ precursors --
+
+TEST(RoutingTablePrecursors, SurviveUpdate) {
+  RoutingTable table;
+  table.update(7, 3, 2, 10, true, 100.0);
+  table.add_precursor(7, 5);
+  table.add_precursor(7, 6);
+  // A fresher install to the same destination keeps the precursor list:
+  // the downstream nodes still route through us.
+  table.update(7, 4, 1, 11, true, 200.0);
+  const Route* r = table.find(7);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->precursors.size(), 2U);
+  EXPECT_EQ(r->precursors.count(5), 1U);
+  EXPECT_EQ(r->precursors.count(6), 1U);
+}
+
+TEST(RoutingTablePrecursors, AddToUnknownDestinationIsNoOp) {
+  RoutingTable table;
+  table.add_precursor(42, 5);
+  EXPECT_EQ(table.find(42), nullptr);
+  EXPECT_EQ(table.size(), 0U);
+}
+
+// ------------------------------------------------------- slot lifecycle --
+
+TEST(RoutingTableLifecycle, ClearResetsSlotStateForReuse) {
+  RoutingTable table;
+  table.update(7, 3, 2, 10, true, 100.0);
+  table.add_precursor(7, 5);
+  table.clear();
+  EXPECT_EQ(table.size(), 0U);
+  EXPECT_EQ(table.find(7), nullptr);
+  // Re-installing the same destination after a crash wipe must start from
+  // a pristine slot: no leftover precursors, and a lifetime shorter than
+  // the pre-crash one must stick (no stale max-expiry carryover).
+  Route& r = table.update(7, 4, 1, 2, true, 30.0);
+  EXPECT_TRUE(r.precursors.empty());
+  EXPECT_EQ(r.expires, 30.0);
+  EXPECT_EQ(table.find_active(7, 50.0), nullptr);  // 30 s lifetime, not 100
+}
+
+TEST(RoutingTableLifecycle, SizeCountsEntriesNotValidity) {
+  RoutingTable table;
+  table.update(7, 3, 2, 10, true, 100.0);
+  table.update(9, 3, 1, 1, true, 100.0);
+  EXPECT_EQ(table.size(), 2U);
+  table.invalidate(7);
+  EXPECT_EQ(table.size(), 2U);  // invalid entries are still entries
+}
+
+TEST(RoutingTableLifecycle, AllViewSeesEveryEntry) {
+  RoutingTable table;
+  table.update(2, 3, 2, 10, true, 100.0);
+  table.update(40, 3, 1, 1, true, 100.0);
+  table.invalidate(40);
+  std::size_t seen = 0;
+  bool saw_invalid = false;
+  for (const auto& [dst, route] : table.all()) {
+    ++seen;
+    if (dst == 40) saw_invalid = !route.valid;
+  }
+  EXPECT_EQ(seen, 2U);
+  EXPECT_EQ(table.all().size(), 2U);
+  EXPECT_TRUE(saw_invalid);
+}
+
+// ------------------------------------------------------ destinations_via --
+
+TEST(RoutingTableVia, BufferOverloadMatchesAndSkipsInactive) {
+  RoutingTable table;
+  table.update(7, 3, 2, 1, true, 100.0);
+  table.update(8, 3, 3, 1, true, 100.0);
+  table.update(9, 4, 1, 1, true, 100.0);
+  table.update(10, 3, 2, 1, true, 100.0);
+  table.invalidate(10);                    // invalid: not "via" anymore
+  table.update(11, 3, 2, 1, true, 20.0);   // expires before the query time
+
+  std::vector<NodeId> buf{99, 99};         // stale contents must be cleared
+  table.destinations_via(3, 50.0, &buf);
+  EXPECT_EQ(buf, (std::vector<NodeId>{7, 8}));
+  EXPECT_EQ(table.destinations_via(3, 50.0), buf);  // allocating overload agrees
+
+  table.destinations_via(5, 50.0, &buf);
+  EXPECT_TRUE(buf.empty());
+}
+
+}  // namespace
