@@ -315,10 +315,12 @@ void AodvAgent::handle_rerr(NodeId from, const Rerr& rerr) {
 }
 
 void AodvAgent::handle_link_break(NodeId next_hop) {
-  const std::vector<NodeId> lost = table_.destinations_via(next_hop, sim_->now());
-  for (const NodeId dst : lost) table_.invalidate(dst);
+  // Buffer-reusing sweep: no reentrancy hazard because send_rerr only
+  // schedules frames, it never re-enters handle_link_break synchronously.
+  table_.destinations_via(next_hop, sim_->now(), &via_scratch_);
+  for (const NodeId dst : via_scratch_) table_.invalidate(dst);
   table_.invalidate(next_hop);
-  if (!lost.empty()) send_rerr_to_precursors(lost);
+  if (!via_scratch_.empty()) send_rerr_to_precursors(via_scratch_);
 }
 
 void AodvAgent::send_rerr_to_precursors(const std::vector<NodeId>& lost_dsts) {

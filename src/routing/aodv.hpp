@@ -150,6 +150,9 @@ class AodvAgent final : public net::LinkListener, public RoutingService {
   std::unordered_map<NodeId, PendingDiscovery> pending_;
   DeliverFn on_deliver_;
   AodvStats stats_;
+  // Reused by handle_link_break so per-break destination sweeps allocate
+  // nothing in steady state (link breaks are frequent under churn).
+  std::vector<NodeId> via_scratch_;
 };
 
 }  // namespace p2p::routing

@@ -2,41 +2,55 @@
 
 namespace p2p::routing {
 
-Route* RoutingTable::find_active(NodeId dst, sim::SimTime now) {
-  const auto it = routes_.find(dst);
-  if (it == routes_.end()) return nullptr;
-  Route& r = it->second;
-  if (!r.valid) return nullptr;
-  if (r.expires <= now) {
-    r.valid = false;  // lifetime elapsed; sequence number is retained
-    return nullptr;
+Route& RoutingTable::claim(NodeId dst) {
+  const auto need = static_cast<std::size_t>(dst) + 1;
+  if (need > slots_.size()) {
+    // Geometric growth keeps amortized claim cost O(1) even when ids
+    // arrive in ascending order (the common case: Network assigns them
+    // densely in call order).
+    std::size_t target = slots_.empty() ? 16 : slots_.size();
+    while (target < need) target *= 2;
+    slots_.resize(target);
+    occupied_.resize((target + 63) / 64, 0);
   }
-  return &r;
+  std::uint64_t& word = occupied_[dst >> 6];
+  const std::uint64_t bit = std::uint64_t{1} << (dst & 63);
+  Route& r = slots_[dst];
+  if ((word & bit) == 0) {
+    word |= bit;
+    ++size_;
+    r = Route{};  // pristine slot: no stale precursors or expiry carryover
+  }
+  return r;
 }
 
-const Route* RoutingTable::find(NodeId dst) const {
-  const auto it = routes_.find(dst);
-  return it == routes_.end() ? nullptr : &it->second;
+Route* RoutingTable::find_active(NodeId dst, sim::SimTime now) {
+  Route* r = slot(dst);
+  if (r == nullptr || !r->valid) return nullptr;
+  if (r->expires <= now) {
+    r->valid = false;  // lifetime elapsed; sequence number is retained
+    return nullptr;
+  }
+  return r;
 }
 
 bool RoutingTable::is_better(NodeId dst, std::uint32_t seq, bool seq_valid,
-                             std::uint8_t hops, sim::SimTime now) {
-  const auto it = routes_.find(dst);
-  if (it == routes_.end()) return true;
-  Route& r = it->second;
-  if (!r.valid || r.expires <= now) return true;
-  if (!r.seq_valid) return true;
+                             std::uint8_t hops, sim::SimTime now) const {
+  const Route* r = slot(dst);
+  if (r == nullptr) return true;
+  if (!r->valid || r->expires <= now) return true;
+  if (!r->seq_valid) return true;
   if (!seq_valid) return false;
-  const auto newer = static_cast<std::int32_t>(seq - r.dst_seq);
+  const auto newer = static_cast<std::int32_t>(seq - r->dst_seq);
   if (newer > 0) return true;
   if (newer < 0) return false;
-  return hops < r.hop_count;
+  return hops < r->hop_count;
 }
 
 Route& RoutingTable::update(NodeId dst, NodeId next_hop, std::uint8_t hops,
                             std::uint32_t seq, bool seq_valid,
                             sim::SimTime expires) {
-  Route& r = routes_[dst];
+  Route& r = claim(dst);
   r.next_hop = next_hop;
   r.hop_count = hops;
   r.dst_seq = seq;
@@ -47,37 +61,68 @@ Route& RoutingTable::update(NodeId dst, NodeId next_hop, std::uint8_t hops,
 }
 
 void RoutingTable::refresh(NodeId dst, sim::SimTime expires) {
-  const auto it = routes_.find(dst);
-  if (it == routes_.end() || !it->second.valid) return;
-  if (expires > it->second.expires) it->second.expires = expires;
+  Route* r = slot(dst);
+  if (r == nullptr || !r->valid) return;
+  if (expires > r->expires) r->expires = expires;
 }
 
 bool RoutingTable::invalidate(NodeId dst) {
-  const auto it = routes_.find(dst);
-  if (it == routes_.end()) return false;
-  Route& r = it->second;
-  if (r.valid) {
-    r.valid = false;
-    ++r.dst_seq;  // RFC 3561 §6.11: increment on invalidation
-    r.seq_valid = true;
+  Route* r = slot(dst);
+  if (r == nullptr) return false;
+  if (r->valid) {
+    r->valid = false;
+    ++r->dst_seq;  // RFC 3561 §6.11: increment on invalidation
+    r->seq_valid = true;
   }
   return true;
 }
 
 void RoutingTable::add_precursor(NodeId dst, NodeId precursor) {
-  const auto it = routes_.find(dst);
-  if (it != routes_.end()) it->second.precursors.insert(precursor);
+  Route* r = slot(dst);
+  if (r != nullptr) r->precursors.insert(precursor);
+}
+
+void RoutingTable::destinations_via(NodeId next_hop, sim::SimTime now,
+                                    std::vector<NodeId>* out) const {
+  out->clear();
+  // Word-at-a-time bitmap scan: entries come out in ascending destination
+  // order, which is also a stable, platform-independent RERR ordering.
+  for (std::size_t w = 0; w < occupied_.size(); ++w) {
+    std::uint64_t bits = occupied_[w];
+    while (bits != 0) {
+      const auto b = static_cast<unsigned>(std::countr_zero(bits));
+      bits &= bits - 1;
+      const auto dst = static_cast<NodeId>(w * 64 + b);
+      const Route& r = slots_[dst];
+      if (r.valid && r.expires > now && r.next_hop == next_hop) {
+        out->push_back(dst);
+      }
+    }
+  }
 }
 
 std::vector<NodeId> RoutingTable::destinations_via(NodeId next_hop,
-                                                   sim::SimTime now) {
+                                                   sim::SimTime now) const {
   std::vector<NodeId> out;
-  for (auto& [dst, r] : routes_) {
-    if (r.valid && r.expires > now && r.next_hop == next_hop) {
-      out.push_back(dst);
-    }
-  }
+  destinations_via(next_hop, now, &out);
   return out;
+}
+
+void RoutingTable::clear() noexcept {
+  // Drop the occupancy bits (lookups fail immediately) and release the
+  // precursor sets so a long-lived crashed node does not pin their heap
+  // nodes; the flat slot storage itself is retained for the node's next
+  // life. claim() resets each slot on reuse.
+  for (std::size_t w = 0; w < occupied_.size(); ++w) {
+    std::uint64_t bits = occupied_[w];
+    while (bits != 0) {
+      const auto b = static_cast<unsigned>(std::countr_zero(bits));
+      bits &= bits - 1;
+      slots_[w * 64 + b].precursors.clear();
+    }
+    occupied_[w] = 0;
+  }
+  size_ = 0;
 }
 
 }  // namespace p2p::routing

@@ -3,11 +3,22 @@
 // Loop freedom comes from destination sequence numbers: a route is only
 // replaced by one with a newer sequence number, or an equal sequence
 // number and strictly fewer hops.
+//
+// Representation: node ids are dense (0..n-1, assigned by Network in call
+// order), so the table is a flat vector indexed by destination id plus an
+// occupancy bitmap — every lookup on the data-forwarding hot path is one
+// bit test and one array index, no hashing. Expiry state lives intrusively
+// in the Route slots themselves (`valid`/`expires`) and is swept in place
+// (find_active invalidates lazily, destinations_via skips expired entries
+// during its bitmap scan); there is no auxiliary expiry structure to keep
+// in sync. Slots are reset to pristine state when a destination is
+// re-claimed after clear(), so a reborn node never observes stale
+// precursors or a stale max-expiry from its previous life.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "net/types.hpp"
@@ -32,12 +43,12 @@ class RoutingTable {
   /// Valid, unexpired route or nullptr. Expired routes are invalidated
   /// as a side effect (their sequence numbers survive).
   Route* find_active(NodeId dst, sim::SimTime now);
-  const Route* find(NodeId dst) const;
+  const Route* find(NodeId dst) const noexcept { return slot(dst); }
 
   /// Would a route advertising (seq, seq_valid, hops) replace what we have
   /// for dst? Implements the RFC 3561 §6.2 freshness comparison.
   bool is_better(NodeId dst, std::uint32_t seq, bool seq_valid,
-                 std::uint8_t hops, sim::SimTime now);
+                 std::uint8_t hops, sim::SimTime now) const;
 
   /// Install/overwrite the route (callers check is_better first when the
   /// update comes from the network; unconditional for e.g. neighbor routes).
@@ -53,22 +64,90 @@ class RoutingTable {
 
   void add_precursor(NodeId dst, NodeId precursor);
 
-  /// Destinations whose active route uses `next_hop` (link-break handling).
-  std::vector<NodeId> destinations_via(NodeId next_hop, sim::SimTime now);
+  /// Destinations whose active route uses `next_hop` (link-break handling),
+  /// in ascending destination order. The buffer overload clears and reuses
+  /// `out` so per-break handling allocates nothing in steady state.
+  void destinations_via(NodeId next_hop, sim::SimTime now,
+                        std::vector<NodeId>* out) const;
+  std::vector<NodeId> destinations_via(NodeId next_hop, sim::SimTime now) const;
 
-  std::size_t size() const noexcept { return routes_.size(); }
+  std::size_t size() const noexcept { return size_; }
 
   /// Forget every route, sequence numbers included (node crash: a reborn
   /// node starts from an empty table, RFC 3561 §6.13 handles seq reuse).
-  void clear() noexcept { routes_.clear(); }
+  /// Slot storage is retained; each slot is reset when re-claimed.
+  void clear() noexcept;
 
-  /// Full table view for cross-layer invariant sweeps (read-only).
-  const std::unordered_map<NodeId, Route>& all() const noexcept {
-    return routes_;
-  }
+  /// Read-only iterable view over every entry, ascending by destination,
+  /// for cross-layer invariant sweeps. Yields `{NodeId dst, const Route&
+  /// route}` pairs, so `for (const auto& [dst, route] : table.all())`
+  /// works as it did over the old map representation.
+  class ConstView {
+   public:
+    struct Entry {
+      NodeId dst;
+      const Route& route;
+    };
+    class iterator {
+     public:
+      iterator(const RoutingTable* table, std::size_t i) noexcept
+          : table_(table), i_(i) {
+        skip_unoccupied();
+      }
+      Entry operator*() const noexcept {
+        return Entry{static_cast<NodeId>(i_), table_->slots_[i_]};
+      }
+      iterator& operator++() noexcept {
+        ++i_;
+        skip_unoccupied();
+        return *this;
+      }
+      bool operator!=(const iterator& other) const noexcept {
+        return i_ != other.i_;
+      }
+
+     private:
+      void skip_unoccupied() noexcept {
+        while (i_ < table_->slots_.size() &&
+               !table_->present(static_cast<NodeId>(i_))) {
+          ++i_;
+        }
+      }
+      const RoutingTable* table_;
+      std::size_t i_;
+    };
+
+    explicit ConstView(const RoutingTable* table) noexcept : table_(table) {}
+    iterator begin() const noexcept { return iterator(table_, 0); }
+    iterator end() const noexcept {
+      return iterator(table_, table_->slots_.size());
+    }
+    std::size_t size() const noexcept { return table_->size_; }
+
+   private:
+    const RoutingTable* table_;
+  };
+
+  ConstView all() const noexcept { return ConstView(this); }
 
  private:
-  std::unordered_map<NodeId, Route> routes_;
+  bool present(NodeId dst) const noexcept {
+    return static_cast<std::size_t>(dst) < slots_.size() &&
+           ((occupied_[dst >> 6] >> (dst & 63)) & 1U) != 0;
+  }
+  Route* slot(NodeId dst) noexcept {
+    return present(dst) ? &slots_[dst] : nullptr;
+  }
+  const Route* slot(NodeId dst) const noexcept {
+    return present(dst) ? &slots_[dst] : nullptr;
+  }
+  /// Occupied slot for dst, growing storage and resetting the slot to
+  /// pristine state on the unoccupied -> occupied transition.
+  Route& claim(NodeId dst);
+
+  std::vector<Route> slots_;             // indexed by destination id
+  std::vector<std::uint64_t> occupied_;  // bit i set => slots_[i] is an entry
+  std::size_t size_ = 0;
 };
 
 }  // namespace p2p::routing

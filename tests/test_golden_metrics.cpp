@@ -112,10 +112,19 @@ TEST(GoldenFig07, RegularIdealChannel) {
 
 // Basic algorithm (heaviest flooding) under loss + gray zone, which
 // exercises the per-receiver RNG draws whose order batching must preserve.
+//
+// Re-pinned when RoutingTable went dense: destinations_via now sweeps
+// entries in ascending destination order (stable across standard-library
+// implementations), where the old representation iterated an
+// unordered_map — a libstdc++-internal order. Under loss, link breaks
+// fire RERRs whose unicast order follows that sweep, so the draw
+// attribution (and these counters) legitimately shifted once. The
+// ideal-channel scenario above is unaffected and still matches the
+// original per-receiver-event baseline bit-for-bit.
 TEST(GoldenFig07, BasicLossyGrayZone) {
   check(run_workload(core::AlgorithmKind::kBasic, 0.05, 0.2),
-        GoldenMetrics{22023U, 37790U, 9303U, 16892U, 1477U, 890U, 445U, 388U,
-                      1783U, 190U, 490U, 3.1745984999999992});
+        GoldenMetrics{21509U, 36494U, 8965U, 16365U, 1462U, 877U, 446U, 385U,
+                      1733U, 204U, 477U, 3.0914069999999998});
 }
 
 }  // namespace
