@@ -18,18 +18,13 @@
 //   hotpath [--suite kernel|hotpath|all] [--label NAME] [--out FILE]
 //           [--smoke] [--repeat N]
 #include <algorithm>
-#include <chrono>
 #include <cstdint>
-#include <cstdio>
-#include <cstring>
-#include <fstream>
-#include <iostream>
 #include <memory>
-#include <string>
 #include <vector>
 
 #include "mobility/random_waypoint.hpp"
 #include "net/network.hpp"
+#include "perf_record.hpp"
 #include "routing/aodv.hpp"
 #include "routing/flood.hpp"
 #include "sim/event_queue.hpp"
@@ -39,72 +34,11 @@
 namespace {
 
 using namespace p2p;
-using Clock = std::chrono::steady_clock;
-
-struct Options {
-  std::string suite = "all";
-  std::string label = "dev";
-  std::string out;       // empty = stdout only
-  bool smoke = false;    // tiny scale, exercises the JSON path in ctest
-  int repeat = 3;        // best-of-N wall time
-};
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-/// One benchmark record. Counter fields are emitted only when set.
-struct Record {
-  std::string bench;
-  double wall_s = 0.0;
-  std::uint64_t ops = 0;            // suite-specific unit (see ops_name)
-  std::string ops_name = "ops";
-  std::uint64_t events = 0;         // kernel events processed
-  std::uint64_t frames_delivered = 0;
-  std::size_t peak_queue = 0;
-  double sim_time_s = 0.0;
-
-  std::string to_json(const std::string& label) const {
-    char buf[512];
-    std::string json = "{\"bench\":\"" + bench + "\",\"label\":\"" + label +
-                       "\"";
-    std::snprintf(buf, sizeof(buf), ",\"wall_s\":%.6f", wall_s);
-    json += buf;
-    std::snprintf(buf, sizeof(buf), ",\"%s\":%llu", ops_name.c_str(),
-                  static_cast<unsigned long long>(ops));
-    json += buf;
-    if (wall_s > 0.0) {
-      std::snprintf(buf, sizeof(buf), ",\"%s_per_sec\":%.1f", ops_name.c_str(),
-                    static_cast<double>(ops) / wall_s);
-      json += buf;
-    }
-    if (events > 0) {
-      std::snprintf(buf, sizeof(buf), ",\"events\":%llu",
-                    static_cast<unsigned long long>(events));
-      json += buf;
-      if (wall_s > 0.0) {
-        std::snprintf(buf, sizeof(buf), ",\"events_per_sec\":%.1f",
-                      static_cast<double>(events) / wall_s);
-        json += buf;
-      }
-    }
-    if (frames_delivered > 0) {
-      std::snprintf(buf, sizeof(buf), ",\"frames_delivered\":%llu",
-                    static_cast<unsigned long long>(frames_delivered));
-      json += buf;
-    }
-    if (peak_queue > 0) {
-      std::snprintf(buf, sizeof(buf), ",\"peak_queue\":%zu", peak_queue);
-      json += buf;
-    }
-    if (sim_time_s > 0.0) {
-      std::snprintf(buf, sizeof(buf), ",\"sim_time_s\":%.1f", sim_time_s);
-      json += buf;
-    }
-    json += "}";
-    return json;
-  }
-};
+using bench::Clock;
+using bench::Options;
+using bench::Record;
+using bench::emit;
+using bench::seconds_since;
 
 // ---------------------------------------------------------------- kernel --
 
@@ -269,48 +203,10 @@ Record bench_storm(const char* name, std::size_t nodes, double sim_seconds,
   return rec;
 }
 
-void emit(const Record& rec, const Options& opt) {
-  const std::string line = rec.to_json(opt.label);
-  std::cout << line << "\n";
-  if (!opt.out.empty()) {
-    std::ofstream os(opt.out, std::ios::app);
-    if (!os) {
-      std::cerr << "cannot open " << opt.out << " for append\n";
-      std::exit(1);
-    }
-    os << line << "\n";
-  }
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  Options opt;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&]() -> std::string {
-      if (i + 1 >= argc) {
-        std::cerr << arg << " needs a value\n";
-        std::exit(1);
-      }
-      return argv[++i];
-    };
-    if (arg == "--suite") {
-      opt.suite = value();
-    } else if (arg == "--label") {
-      opt.label = value();
-    } else if (arg == "--out") {
-      opt.out = value();
-    } else if (arg == "--smoke") {
-      opt.smoke = true;
-      opt.repeat = 1;
-    } else if (arg == "--repeat") {
-      opt.repeat = std::atoi(value().c_str());
-    } else {
-      std::cerr << "unknown argument " << arg << "\n";
-      return 1;
-    }
-  }
+  const Options opt = bench::parse_options(argc, argv, /*allow_suite=*/true);
   const bool kernel = opt.suite == "kernel" || opt.suite == "all";
   const bool hotpath = opt.suite == "hotpath" || opt.suite == "all";
   if (!kernel && !hotpath) {
@@ -332,6 +228,13 @@ int main(int argc, char** argv) {
                      opt.repeat), opt);
     emit(bench_storm("hotpath.storm_churn_mix", nodes, sim_s, true,
                      opt.repeat), opt);
+    // Scale tier: same storm shape at 500 nodes (vs. the paper's 150-node
+    // ceiling) on the same region — denser fan-out, bigger tables. Shorter
+    // simulated span keeps the wall budget comparable to the 300-node run.
+    const std::size_t big_nodes = opt.smoke ? 50 : 500;
+    const double big_sim_s = opt.smoke ? 1.0 : 60.0;
+    emit(bench_storm("hotpath.broadcast_storm_500", big_nodes, big_sim_s,
+                     false, opt.repeat), opt);
   }
   return 0;
 }

@@ -1,19 +1,115 @@
 #!/usr/bin/env sh
-# Record a perf snapshot: build the bench preset, run both harness suites,
-# and append one JSON record per benchmark to BENCH_kernel.json and
+# Record a perf snapshot, or compare two recorded labels.
+#
+# Record mode: build the bench preset, run the harness suites (hotpath's
+# kernel + wireless storms, plus the aodv_storm route-discovery storm), and
+# append one JSON record per benchmark to BENCH_kernel.json and
 # BENCH_hotpath.json at the repo root (JSON Lines; see docs/performance.md).
 #
-# Usage: tools/bench.sh [label]
-#   label  tag stored in each record (default: current git short hash)
+# Compare mode: read those JSONL files back and print per-bench throughput
+# deltas between two labels, failing when anything regressed — so a perf
+# regression is caught when the records land, not by a later PR's
+# archaeology.
+#
+# Usage:
+#   tools/bench.sh [label]
+#       label  tag stored in each record (default: current git short hash)
+#   tools/bench.sh --compare <label-a> <label-b> [--threshold PCT]
+#       Compare ops_per_sec/frames_per_sec of label-b against label-a for
+#       every bench that has records under both labels (the most recent
+#       record per label wins). Exit 1 if any bench is more than PCT
+#       slower in label-b (default 5).
 set -eu
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
+
+if [ "${1:-}" = "--compare" ]; then
+  shift
+  if [ $# -lt 2 ]; then
+    echo "usage: tools/bench.sh --compare <label-a> <label-b> [--threshold PCT]" >&2
+    exit 2
+  fi
+  label_a="$1"
+  label_b="$2"
+  shift 2
+  threshold=5
+  if [ "${1:-}" = "--threshold" ]; then
+    if [ $# -lt 2 ]; then
+      echo "--threshold needs a value" >&2
+      exit 2
+    fi
+    threshold="$2"
+  fi
+  awk -v A="$label_a" -v B="$label_b" -v THR="$threshold" '
+    {
+      bench = ""; label = ""; rate = ""
+      if (match($0, /"bench":"[^"]*"/)) {
+        bench = substr($0, RSTART + 9, RLENGTH - 10)
+      }
+      if (match($0, /"label":"[^"]*"/)) {
+        label = substr($0, RSTART + 9, RLENGTH - 10)
+      }
+      # Headline throughput: the suite-specific <unit>_per_sec field
+      # (kernel: ops_per_sec, wireless storms: frames_per_sec).
+      if (match($0, /"(ops|frames)_per_sec":[0-9.]+/)) {
+        pair = substr($0, RSTART, RLENGTH)
+        sub(/^"[a-z]+_per_sec":/, "", pair)
+        rate = pair + 0
+      }
+      if (bench == "" || label == "" || rate == "") next
+      # Later records override earlier ones: compare the freshest snapshot
+      # recorded under each label.
+      if (label == A) { a[bench] = rate; seen[bench] = 1 }
+      if (label == B) { b[bench] = rate; seen[bench] = 1 }
+    }
+    END {
+      n = 0; fail = 0
+      printf "%-34s %14s %14s %9s\n", "bench", A, B, "delta"
+      for (bench in seen) order[++n] = bench
+      # Stable output order (asort is gawk-only; insertion sort is fine
+      # at this scale).
+      for (i = 2; i <= n; ++i) {
+        for (j = i; j > 1 && order[j] < order[j-1]; --j) {
+          t = order[j]; order[j] = order[j-1]; order[j-1] = t
+        }
+      }
+      for (i = 1; i <= n; ++i) {
+        bench = order[i]
+        if (!(bench in a) || !(bench in b)) {
+          printf "%-34s %14s %14s %9s\n", bench,
+                 (bench in a) ? sprintf("%.0f", a[bench]) : "-",
+                 (bench in b) ? sprintf("%.0f", b[bench]) : "-", "n/a"
+          continue
+        }
+        delta = (b[bench] - a[bench]) / a[bench] * 100.0
+        flag = ""
+        if (delta < -THR) { flag = "  << REGRESSION"; fail = 1 }
+        printf "%-34s %14.0f %14.0f %+8.1f%%%s\n", bench, a[bench], b[bench],
+               delta, flag
+      }
+      if (n == 0) {
+        printf "no records found for labels %s / %s\n", A, B
+        exit 2
+      }
+      if (fail) {
+        printf "FAIL: at least one bench regressed more than %s%% (%s -> %s)\n",
+               THR, A, B
+        exit 1
+      }
+    }
+  ' "$repo/BENCH_kernel.json" "$repo/BENCH_hotpath.json"
+  exit $?
+fi
+
 label="${1:-$(git -C "$repo" rev-parse --short HEAD 2>/dev/null || echo dev)}"
 
 cmake --preset bench -S "$repo" >/dev/null
-cmake --build --preset bench -j --target hotpath >/dev/null
+cmake --build --preset bench -j --target hotpath --target aodv_storm >/dev/null
 
-bin="$repo/build-bench/bench/hotpath"
-"$bin" --suite kernel  --label "$label" --out "$repo/BENCH_kernel.json"
-"$bin" --suite hotpath --label "$label" --out "$repo/BENCH_hotpath.json"
+"$repo/build-bench/bench/hotpath" --suite kernel --label "$label" \
+  --out "$repo/BENCH_kernel.json"
+"$repo/build-bench/bench/hotpath" --suite hotpath --label "$label" \
+  --out "$repo/BENCH_hotpath.json"
+"$repo/build-bench/bench/aodv_storm" --label "$label" \
+  --out "$repo/BENCH_hotpath.json"
 echo "appended records labeled '$label' to BENCH_kernel.json / BENCH_hotpath.json"

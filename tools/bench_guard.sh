@@ -1,0 +1,65 @@
+#!/usr/bin/env sh
+# bench_guard: assert the perf harness's fixed-seed counters are unchanged.
+#
+# Runs the smoke-scale bench suites and compares every deterministic
+# counter (ops, events, frames_delivered, peak_queue — everything except
+# wall time) against a checked-in expectations file. A mismatch means a
+# hot-path edit changed observable behavior, not just speed; it must
+# either be fixed or the expectations regenerated *and the drift justified
+# in the PR* (see docs/performance.md).
+#
+# Usage:
+#   tools/bench_guard.sh [--update] <hotpath-bin> <aodv-storm-bin> <expected-file>
+#
+# --update rewrites <expected-file> from the current binaries instead of
+# comparing (for intentional, reviewed counter changes).
+set -eu
+
+update=0
+if [ "${1:-}" = "--update" ]; then
+  update=1
+  shift
+fi
+if [ $# -ne 3 ]; then
+  echo "usage: $0 [--update] <hotpath-bin> <aodv-storm-bin> <expected-file>" >&2
+  exit 2
+fi
+hotpath_bin="$1"
+aodv_bin="$2"
+expected="$3"
+
+tmpdir="${TMPDIR:-/tmp}"
+raw="$tmpdir/bench_guard_$$.jsonl"
+norm="$tmpdir/bench_guard_$$.norm"
+trap 'rm -f "$raw" "$norm"' EXIT
+: > "$raw"
+
+"$hotpath_bin" --smoke --suite all --label guard --out "$raw" > /dev/null
+"$aodv_bin" --smoke --label guard --out "$raw" > /dev/null
+
+# Strip the timing fields: keep bench name + every deterministic counter,
+# in emission order, one canonical line per bench.
+awk '{
+  line = $0
+  out = ""
+  while (match(line, /"(bench|ops|frames|events|frames_delivered|peak_queue)":("[^"]*"|[0-9]+)/)) {
+    pair = substr(line, RSTART, RLENGTH)
+    out = (out == "") ? pair : out " " pair
+    line = substr(line, RSTART + RLENGTH)
+  }
+  print out
+}' "$raw" > "$norm"
+
+if [ "$update" = 1 ]; then
+  cp "$norm" "$expected"
+  echo "bench_guard: wrote $(wc -l < "$expected" | tr -d ' ') expectation lines to $expected"
+  exit 0
+fi
+
+if ! diff -u "$expected" "$norm"; then
+  echo "bench_guard: FIXED-SEED COUNTER DRIFT (see diff above)." >&2
+  echo "A hot-path change altered observable behavior. If intentional," >&2
+  echo "regenerate with: tools/bench_guard.sh --update $hotpath_bin $aodv_bin $expected" >&2
+  exit 1
+fi
+echo "bench_guard: all fixed-seed counters match $expected"
