@@ -75,7 +75,7 @@ Record bench_aodv_storm(std::size_t nodes, double side, double sim_seconds,
   rec.wall_s = 1e100;
   for (int r = 0; r < repeat; ++r) {
     AodvWorld world(nodes, side);
-    const auto payload = std::make_shared<const ProbePayload>();
+    const auto payload = net::make_payload<const ProbePayload>();
     // Every 50 ms, four rotating sources each unicast to a destination
     // roughly half the id space away — far enough that most pairs need a
     // multi-hop route, i.e. a discovery. The stride constants are coprime
@@ -83,7 +83,7 @@ Record bench_aodv_storm(std::size_t nodes, double side, double sim_seconds,
     // of cycling through a few warm routes.
     struct Driver {
       AodvWorld* world;
-      const std::shared_ptr<const ProbePayload>* payload;
+      const net::Ref<const ProbePayload>* payload;
       double until;
       std::uint64_t tick = 0;
       void operator()() {

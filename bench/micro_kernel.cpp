@@ -117,7 +117,7 @@ struct World {
 void BM_NetworkBroadcast(benchmark::State& state) {
   World world(static_cast<std::size_t>(state.range(0)));
   struct Noop final : net::FramePayload {};
-  const auto payload = std::make_shared<const Noop>();
+  const auto payload = net::make_payload<const Noop>();
   const std::uint64_t frames_before = world.net->frames_delivered();
   for (auto _ : state) {
     world.net->broadcast(0, payload, 64);
@@ -144,7 +144,7 @@ void BM_FloodSixHops(benchmark::State& state) {
   struct Noop final : net::AppPayload {
     std::size_t size_bytes() const noexcept override { return 23; }
   };
-  const auto payload = std::make_shared<const Noop>();
+  const auto payload = net::make_payload<const Noop>();
   for (auto _ : state) {
     world.flood[0]->flood(payload, 6);
     world.sim.run();
@@ -156,7 +156,7 @@ void BM_AodvDiscoveryAndSend(benchmark::State& state) {
   struct Probe final : net::AppPayload {
     std::size_t size_bytes() const noexcept override { return 23; }
   };
-  const auto payload = std::make_shared<const Probe>();
+  const auto payload = net::make_payload<const Probe>();
   for (auto _ : state) {
     state.PauseTiming();
     World world(150);

@@ -15,6 +15,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 namespace bench {
 
@@ -69,10 +70,21 @@ inline Options parse_options(int argc, char** argv, bool allow_suite) {
 
 /// One benchmark record. Counter fields are emitted only when set.
 struct Record {
+  /// Extra fixed-seed counter beyond the headline unit (e.g. the overlay
+  /// storm's answers / connect_msgs). `rate` additionally emits
+  /// "<name>_per_sec" so secondary throughputs (msgs_per_sec) ride along
+  /// without becoming the compare-mode headline.
+  struct Extra {
+    std::string name;
+    std::uint64_t value = 0;
+    bool rate = false;
+  };
+
   std::string bench;
   double wall_s = 0.0;
   std::uint64_t ops = 0;            // suite-specific unit (see ops_name)
   std::string ops_name = "ops";
+  std::vector<Extra> extras;        // emitted right after the headline unit
   std::uint64_t events = 0;         // kernel events processed
   std::uint64_t frames_delivered = 0;
   std::size_t peak_queue = 0;
@@ -91,6 +103,17 @@ struct Record {
       std::snprintf(buf, sizeof(buf), ",\"%s_per_sec\":%.1f", ops_name.c_str(),
                     static_cast<double>(ops) / wall_s);
       json += buf;
+    }
+    for (const Extra& extra : extras) {
+      std::snprintf(buf, sizeof(buf), ",\"%s\":%llu", extra.name.c_str(),
+                    static_cast<unsigned long long>(extra.value));
+      json += buf;
+      if (extra.rate && wall_s > 0.0) {
+        std::snprintf(buf, sizeof(buf), ",\"%s_per_sec\":%.1f",
+                      extra.name.c_str(),
+                      static_cast<double>(extra.value) / wall_s);
+        json += buf;
+      }
     }
     if (events > 0) {
       std::snprintf(buf, sizeof(buf), ",\"events\":%llu",

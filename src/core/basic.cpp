@@ -14,9 +14,9 @@ void BasicServent::schedule_tick(sim::SimTime delay) {
 
 void BasicServent::establish_tick() {
   if (conns().size() < static_cast<std::size_t>(params().maxnconn)) {
-    auto probe = std::make_shared<ConnectProbe>();
-    probe->probe_id = new_probe_id();
-    probe->want = ProbeWant::kBasic;
+    net::Ref<ConnectProbe> probe = network().pools().make<ConnectProbe>();
+    probe.edit()->probe_id = new_probe_id();
+    probe.edit()->want = ProbeWant::kBasic;
     flood_msg(std::move(probe), params().nhops_basic);
   }
   // Fixed interval between attempts — the algorithm keeps trying as long
@@ -31,9 +31,9 @@ void BasicServent::handle_flood(NodeId origin, const P2pMessage& msg,
   const auto& probe = static_cast<const ConnectProbe&>(msg);
   if (probe.want != ProbeWant::kBasic) return;
   // "Every node that listens to this message answers it."
-  auto offer = std::make_shared<ConnectOffer>();
-  offer->probe_id = probe.probe_id;
-  offer->hop_distance = static_cast<std::uint8_t>(hops);
+  net::Ref<ConnectOffer> offer = network().pools().make<ConnectOffer>();
+  offer.edit()->probe_id = probe.probe_id;
+  offer.edit()->hop_distance = static_cast<std::uint8_t>(hops);
   send_msg(origin, std::move(offer));
 }
 

@@ -52,8 +52,8 @@ void HybridServent::initial_tick() {
     become_master();
     return;
   }
-  auto capture = std::make_shared<Capture>();
-  capture->qualifier = qualifier_;
+  net::Ref<Capture> capture = network().pools().make<Capture>();
+  capture.edit()->qualifier = qualifier_;
   flood_msg(std::move(capture), step.flood_hops);
   schedule_tick(step.wait);
 }
@@ -64,8 +64,8 @@ void HybridServent::handle_capture(NodeId src, std::uint32_t their_qualifier) {
     case HybridState::kInitial:
       if (!outranks(their_qualifier, src)) {
         // They are stronger: try to become their slave.
-        auto req = std::make_shared<SlaveRequest>();
-        req->qualifier = qualifier_;
+        net::Ref<SlaveRequest> req = network().pools().make<SlaveRequest>();
+        req.edit()->qualifier = qualifier_;
         send_msg(src, std::move(req));
         state_ = HybridState::kReserved;
         master_candidate_ = src;
@@ -82,15 +82,15 @@ void HybridServent::handle_capture(NodeId src, std::uint32_t their_qualifier) {
         // We are stronger: invite them by answering with our capture
         // ("if the qualifier of the receiver is bigger and its state is
         // either initial or master, it responds with a capture message").
-        auto capture = std::make_shared<Capture>();
-        capture->qualifier = qualifier_;
+        net::Ref<Capture> capture = network().pools().make<Capture>();
+        capture.edit()->qualifier = qualifier_;
         send_msg(src, std::move(capture));
       }
       break;
     case HybridState::kMaster:
       if (outranks(their_qualifier, src)) {
-        auto capture = std::make_shared<Capture>();
-        capture->qualifier = qualifier_;
+        net::Ref<Capture> capture = network().pools().make<Capture>();
+        capture.edit()->qualifier = qualifier_;
         send_msg(src, std::move(capture));
       }
       break;
@@ -112,7 +112,7 @@ void HybridServent::handle_slave_request(NodeId src,
                         outranks(their_qualifier, src) && has_capacity &&
                         !conns().connected(src);
   if (!eligible) {
-    send_msg(src, std::make_shared<SlaveReject>());
+    send_msg(src, network().pools().make<SlaveReject>());
     return;
   }
   if (state_ == HybridState::kInitial) become_master();
@@ -123,7 +123,7 @@ void HybridServent::handle_slave_request(NodeId src,
     arm(it->second, params().handshake_timeout,
         [this, src] { slave_reservations_.erase(src); });
   }
-  send_msg(src, std::make_shared<SlaveAccept>());
+  send_msg(src, network().pools().make<SlaveAccept>());
 }
 
 void HybridServent::handle_slave_accept(NodeId src) {
@@ -133,7 +133,7 @@ void HybridServent::handle_slave_accept(NodeId src) {
   state_ = HybridState::kSlave;
   disarm(tick_event_);
   establish(src, ConnKind::kSlave, /*initiator=*/true);
-  send_msg(src, std::make_shared<SlaveConfirm>());
+  send_msg(src, network().pools().make<SlaveConfirm>());
   LOG_DEBUG(kTag, sim().now())
       << "node " << self() << " becomes slave of " << src;
 }
@@ -219,9 +219,9 @@ void HybridServent::master_tick() {
   }
   const ProgressiveSearch::Step step = search_.advance();
   if (step.flood_hops > 0) {
-    auto probe = std::make_shared<ConnectProbe>();
-    probe->probe_id = new_probe_id();
-    probe->want = ProbeWant::kMaster;
+    net::Ref<ConnectProbe> probe = network().pools().make<ConnectProbe>();
+    probe.edit()->probe_id = new_probe_id();
+    probe.edit()->want = ProbeWant::kMaster;
     master_probes_[probe->probe_id] =
         sim().now() + params().offer_window + params().handshake_timeout;
     flood_msg(std::move(probe), step.flood_hops);
@@ -248,9 +248,9 @@ void HybridServent::handle_flood(NodeId origin, const P2pMessage& msg,
           static_cast<std::size_t>(params().maxnconn)) {
         break;
       }
-      auto offer = std::make_shared<ConnectOffer>();
-      offer->probe_id = probe.probe_id;
-      offer->hop_distance = static_cast<std::uint8_t>(hops);
+      net::Ref<ConnectOffer> offer = network().pools().make<ConnectOffer>();
+      offer.edit()->probe_id = probe.probe_id;
+      offer.edit()->hop_distance = static_cast<std::uint8_t>(hops);
       send_msg(origin, std::move(offer));
       break;
     }

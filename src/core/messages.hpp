@@ -7,7 +7,6 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 
 #include "content/zipf.hpp"
 #include "net/types.hpp"
@@ -34,6 +33,9 @@ enum class MsgType : std::uint8_t {
   kBye,            // graceful connection close
 };
 
+/// Number of MsgType values (array-sized counters, dispatch tables).
+inline constexpr std::size_t kNumMsgTypes = 14;
+
 const char* msg_type_name(MsgType type) noexcept;
 
 /// Messages belonging to connection (re)configuration — what Figures 7/8
@@ -52,97 +54,103 @@ enum class ProbeWant : std::uint8_t {
   kMaster,  // Hybrid: only masters answer
 };
 
+/// Every P2P message stamps its MsgType into the payload kind tag at
+/// construction, so receive dispatch is a switch on `type()` with a
+/// static_cast — no RTTI (see net::AppPayload::kind).
 struct P2pMessage : net::AppPayload {
-  virtual MsgType type() const noexcept = 0;
+  MsgType type() const noexcept { return static_cast<MsgType>(kind); }
+
+ protected:
+  explicit P2pMessage(MsgType t) noexcept { kind = static_cast<net::PayloadKind>(t); }
 };
-using P2pMessagePtr = std::shared_ptr<const P2pMessage>;
+using P2pMessagePtr = net::Ref<const P2pMessage>;
 
 struct ConnectProbe final : P2pMessage {
+  ConnectProbe() noexcept : P2pMessage(MsgType::kConnectProbe) {}
   std::uint64_t probe_id = 0;
   ProbeWant want = ProbeWant::kRegular;
-  MsgType type() const noexcept override { return MsgType::kConnectProbe; }
   std::size_t size_bytes() const noexcept override { return 23; }
 };
 
 struct ConnectOffer final : P2pMessage {
+  ConnectOffer() noexcept : P2pMessage(MsgType::kConnectOffer) {}
   std::uint64_t probe_id = 0;
   std::uint8_t hop_distance = 0;  // ad-hoc hops the probe traveled
-  MsgType type() const noexcept override { return MsgType::kConnectOffer; }
   std::size_t size_bytes() const noexcept override { return 23; }
 };
 
 struct ConnectRequest final : P2pMessage {
+  ConnectRequest() noexcept : P2pMessage(MsgType::kConnectRequest) {}
   std::uint64_t probe_id = 0;
   ProbeWant want = ProbeWant::kRegular;
-  MsgType type() const noexcept override { return MsgType::kConnectRequest; }
   std::size_t size_bytes() const noexcept override { return 23; }
 };
 
 struct ConnectAck final : P2pMessage {
+  ConnectAck() noexcept : P2pMessage(MsgType::kConnectAck) {}
   std::uint64_t probe_id = 0;
   bool accepted = false;
-  MsgType type() const noexcept override { return MsgType::kConnectAck; }
   std::size_t size_bytes() const noexcept override { return 23; }
 };
 
 struct Ping final : P2pMessage {
-  MsgType type() const noexcept override { return MsgType::kPing; }
+  Ping() noexcept : P2pMessage(MsgType::kPing) {}
   std::size_t size_bytes() const noexcept override { return 23; }
 };
 
 struct Pong final : P2pMessage {
-  MsgType type() const noexcept override { return MsgType::kPong; }
+  Pong() noexcept : P2pMessage(MsgType::kPong) {}
   std::size_t size_bytes() const noexcept override { return 37; }
 };
 
 struct Query final : P2pMessage {
+  Query() noexcept : P2pMessage(MsgType::kQuery) {}
   std::uint64_t query_id = 0;  // unique per origin
   NodeId origin = net::kInvalidNode;
   FileId file = 0;
   std::uint8_t ttl = 0;        // remaining p2p hops
   std::uint8_t p2p_hops = 0;   // overlay hops already traveled
-  MsgType type() const noexcept override { return MsgType::kQuery; }
   std::size_t size_bytes() const noexcept override { return 41; }
 };
 
 struct QueryHit final : P2pMessage {
+  QueryHit() noexcept : P2pMessage(MsgType::kQueryHit) {}
   std::uint64_t query_id = 0;
   FileId file = 0;
   NodeId holder = net::kInvalidNode;
   std::uint8_t p2p_hops = 0;  // overlay hops the query traveled to the holder
-  MsgType type() const noexcept override { return MsgType::kQueryHit; }
   std::size_t size_bytes() const noexcept override { return 49; }
 };
 
 struct Capture final : P2pMessage {
+  Capture() noexcept : P2pMessage(MsgType::kCapture) {}
   std::uint32_t qualifier = 0;
-  MsgType type() const noexcept override { return MsgType::kCapture; }
   std::size_t size_bytes() const noexcept override { return 27; }
 };
 
 struct SlaveRequest final : P2pMessage {
+  SlaveRequest() noexcept : P2pMessage(MsgType::kSlaveRequest) {}
   std::uint32_t qualifier = 0;
-  MsgType type() const noexcept override { return MsgType::kSlaveRequest; }
   std::size_t size_bytes() const noexcept override { return 27; }
 };
 
 struct SlaveAccept final : P2pMessage {
-  MsgType type() const noexcept override { return MsgType::kSlaveAccept; }
+  SlaveAccept() noexcept : P2pMessage(MsgType::kSlaveAccept) {}
   std::size_t size_bytes() const noexcept override { return 23; }
 };
 
 struct SlaveConfirm final : P2pMessage {
-  MsgType type() const noexcept override { return MsgType::kSlaveConfirm; }
+  SlaveConfirm() noexcept : P2pMessage(MsgType::kSlaveConfirm) {}
   std::size_t size_bytes() const noexcept override { return 23; }
 };
 
 struct SlaveReject final : P2pMessage {
-  MsgType type() const noexcept override { return MsgType::kSlaveReject; }
+  SlaveReject() noexcept : P2pMessage(MsgType::kSlaveReject) {}
   std::size_t size_bytes() const noexcept override { return 23; }
 };
 
 struct Bye final : P2pMessage {
-  MsgType type() const noexcept override { return MsgType::kBye; }
+  Bye() noexcept : P2pMessage(MsgType::kBye) {}
   std::size_t size_bytes() const noexcept override { return 23; }
 };
 

@@ -24,9 +24,9 @@ void RandomServent::random_phase(int current_nhops) {
   const int randhops =
       static_cast<int>(rng().uniform_int(lo, std::max(lo, hi)));
 
-  auto probe = std::make_shared<ConnectProbe>();
-  probe->probe_id = new_probe_id();
-  probe->want = ProbeWant::kRandom;
+  net::Ref<ConnectProbe> probe = network().pools().make<ConnectProbe>();
+  probe.edit()->probe_id = new_probe_id();
+  probe.edit()->want = ProbeWant::kRandom;
   random_probe_id_ = probe->probe_id;
   collecting_ = true;
   best_offer_peer_ = net::kInvalidNode;

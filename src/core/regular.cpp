@@ -30,9 +30,9 @@ void RegularServent::establish_tick() {
   }
   const ProgressiveSearch::Step step = search_.advance();
   if (step.flood_hops > 0 && deficit > 0) {
-    auto probe = std::make_shared<ConnectProbe>();
-    probe->probe_id = new_probe_id();
-    probe->want = ProbeWant::kRegular;
+    net::Ref<ConnectProbe> probe = network().pools().make<ConnectProbe>();
+    probe.edit()->probe_id = new_probe_id();
+    probe.edit()->want = ProbeWant::kRegular;
     active_probes_[probe->probe_id] =
         ActiveProbe{ProbeWant::kRegular,
                     sim().now() + params().offer_window + params().handshake_timeout};
@@ -69,9 +69,9 @@ void RegularServent::handle_flood(NodeId origin, const P2pMessage& msg,
   // sender": willing = has spare capacity and no link to the prober yet.
   if (conns().connected(origin) || has_pending_request(origin)) return;
   if (conns().size() >= static_cast<std::size_t>(params().maxnconn)) return;
-  auto offer = std::make_shared<ConnectOffer>();
-  offer->probe_id = probe.probe_id;
-  offer->hop_distance = static_cast<std::uint8_t>(hops);
+  net::Ref<ConnectOffer> offer = network().pools().make<ConnectOffer>();
+  offer.edit()->probe_id = probe.probe_id;
+  offer.edit()->hop_distance = static_cast<std::uint8_t>(hops);
   send_msg(origin, std::move(offer));
 }
 

@@ -2,7 +2,6 @@
 
 #include <utility>
 
-#include "graph/graph.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
@@ -81,7 +80,7 @@ Servent::Servent(const ServentContext& ctx, const P2pParams& params,
 Servent::~Servent() {
   // Cancel everything we scheduled; the Simulator may outlive us.
   disarm(query_event_);
-  for (auto& [peer, pending] : pending_req_) disarm(pending.timeout);
+  for (const NodeId peer : pending_peers_) disarm(pending_req_[peer].timeout);
   for (const NodeId peer : conns_.peers()) {
     Connection* conn = conns_.find(peer);
     disarm(conn->ping_event);
@@ -110,10 +109,13 @@ void Servent::crash() {
     disarm(conn->timeout_event);
     conns_.remove(peer);
   }
-  for (auto& [peer, pending] : pending_req_) disarm(pending.timeout);
-  pending_req_.clear();
+  for (const NodeId peer : pending_peers_) {
+    disarm(pending_req_[peer].timeout);
+    pending_req_[peer].active = false;
+  }
+  pending_peers_.clear();
   disarm(query_event_);
-  pending_queries_.clear();
+  has_pending_query_ = false;
   // A reborn node must not suppress queries it saw in a previous life;
   // next_query_id_ / next_probe_id_ survive so its new ids stay unique.
   seen_queries_.clear();
@@ -177,8 +179,10 @@ void Servent::flood_msg(P2pMessagePtr msg, int hops) {
 // ---------------------------------------------------------------- receive
 
 void Servent::on_aodv_deliver(NodeId src, net::AppPayloadPtr app, int hops) {
-  const auto* msg = dynamic_cast<const P2pMessage*>(app.get());
-  if (msg == nullptr) return;
+  // P2P messages carry their MsgType in the payload kind tag; anything
+  // else (foreign app payloads are kUntaggedPayload) is not for us.
+  if (app->kind >= static_cast<net::PayloadKind>(kNumMsgTypes)) return;
+  const auto* msg = static_cast<const P2pMessage*>(app.get());
   counters_.count_received(msg->type());
   switch (msg->type()) {
     case MsgType::kPing:
@@ -210,42 +214,61 @@ void Servent::on_aodv_deliver(NodeId src, net::AppPayloadPtr app, int hops) {
 
 void Servent::on_flood_receive(NodeId origin, net::AppPayloadPtr app,
                                int hops) {
-  const auto* msg = dynamic_cast<const P2pMessage*>(app.get());
-  if (msg == nullptr) return;
+  if (app->kind >= static_cast<net::PayloadKind>(kNumMsgTypes)) return;
+  const auto* msg = static_cast<const P2pMessage*>(app.get());
   counters_.count_received(msg->type());
   handle_flood(origin, *msg, hops);
 }
 
 // ---------------------------------------------------------------- handshake
 
+Servent::PendingRequest* Servent::pending_slot(NodeId peer) noexcept {
+  if (static_cast<std::size_t>(peer) >= pending_req_.size()) return nullptr;
+  PendingRequest& slot = pending_req_[peer];
+  return slot.active ? &slot : nullptr;
+}
+
+void Servent::erase_pending(NodeId peer) noexcept {
+  PendingRequest& slot = pending_req_[peer];
+  slot.active = false;
+  const NodeId moved = pending_peers_.back();
+  pending_peers_[slot.order_index] = moved;
+  pending_req_[moved].order_index = slot.order_index;
+  pending_peers_.pop_back();
+}
+
 void Servent::request_connection(NodeId peer, std::uint64_t probe_id,
                                  ProbeWant want, ConnKind kind) {
   if (peer == self() || conns_.connected(peer) || has_pending_request(peer)) {
     return;
   }
-  auto req = std::make_shared<ConnectRequest>();
-  req->probe_id = probe_id;
-  req->want = want;
+  net::Ref<ConnectRequest> req = ctx_.net->pools().make<ConnectRequest>();
+  req.edit()->probe_id = probe_id;
+  req.edit()->want = want;
   send_msg(peer, std::move(req));
 
-  PendingRequest pending;
-  pending.kind = kind;
-  pending_req_.emplace(peer, std::move(pending));
-  auto& slot = pending_req_[peer];
+  if (static_cast<std::size_t>(peer) >= pending_req_.size()) {
+    pending_req_.resize(peer + 1);
+  }
+  PendingRequest& slot = pending_req_[peer];
+  slot.kind = kind;
+  slot.order_index = static_cast<std::uint32_t>(pending_peers_.size());
+  slot.active = true;
+  pending_peers_.push_back(peer);
   arm(slot.timeout, params_.handshake_timeout, [this, peer] {
-    const auto it = pending_req_.find(peer);
-    if (it == pending_req_.end()) return;
-    const ConnKind k = it->second.kind;
-    it->second.timeout = sim::kInvalidEventId;
-    pending_req_.erase(it);
+    PendingRequest* pending = pending_slot(peer);
+    if (pending == nullptr) return;
+    const ConnKind k = pending->kind;
+    pending->timeout = sim::kInvalidEventId;
+    erase_pending(peer);
     on_request_failed(peer, k);
   });
 }
 
 std::size_t Servent::pending_requests(ConnKind kind) const {
   std::size_t n = 0;
-  for (const auto& [peer, pending] : pending_req_) {
-    if (pending.kind == kind) ++n;
+  for (const NodeId peer : pending_peers_) {
+    if (pending_req_[peer].kind == kind) ++n;
   }
   return n;
 }
@@ -257,28 +280,28 @@ void Servent::handle_connect_request(NodeId src, const ConnectRequest& req) {
   // ordinary symmetric connection occupying a generic slot.
   const ConnKind kind = req.want == ProbeWant::kMaster ? ConnKind::kMaster
                                                        : ConnKind::kRegular;
-  auto ack = std::make_shared<ConnectAck>();
-  ack->probe_id = req.probe_id;
+  net::Ref<ConnectAck> ack = ctx_.net->pools().make<ConnectAck>();
+  ack.edit()->probe_id = req.probe_id;
   if (!conns_.connected(src) && can_accept(src, kind)) {
-    ack->accepted = true;
+    ack.edit()->accepted = true;
     establish(src, kind, /*initiator=*/false);
     send_msg(src, std::move(ack));
   } else {
-    ack->accepted = false;
+    ack.edit()->accepted = false;
     send_msg(src, std::move(ack));
   }
 }
 
 void Servent::handle_connect_ack(NodeId src, const ConnectAck& ack) {
-  const auto it = pending_req_.find(src);
-  if (it == pending_req_.end()) {
+  PendingRequest* pending = pending_slot(src);
+  if (pending == nullptr) {
     // Stale ack (we gave up); release the slot the peer just reserved.
-    if (ack.accepted) send_msg(src, std::make_shared<Bye>());
+    if (ack.accepted) send_msg(src, ctx_.net->pools().make<Bye>());
     return;
   }
-  const ConnKind kind = it->second.kind;
-  disarm(it->second.timeout);
-  pending_req_.erase(it);
+  const ConnKind kind = pending->kind;
+  disarm(pending->timeout);
+  erase_pending(src);
   if (!ack.accepted) {
     on_request_failed(src, kind);
     return;
@@ -306,7 +329,7 @@ void Servent::handle_connect_ack(NodeId src, const ConnectAck& ack) {
   }
   if (!can_initiate(kind)) {
     // Filled up while the handshake was in flight.
-    send_msg(src, std::make_shared<Bye>());
+    send_msg(src, ctx_.net->pools().make<Bye>());
     on_request_failed(src, kind);
     return;
   }
@@ -344,7 +367,7 @@ void Servent::close_connection(NodeId peer, CloseReason reason,
   LOG_DEBUG(kTag, ctx_.sim->now())
       << "node " << self() << " - " << conn_kind_name(kind) << " conn to "
       << peer << " (" << close_reason_name(reason) << ")";
-  if (notify_peer) send_msg(peer, std::make_shared<Bye>());
+  if (notify_peer) send_msg(peer, ctx_.net->pools().make<Bye>());
   on_connection_closed(peer, kind, reason);
 }
 
@@ -354,7 +377,7 @@ void Servent::send_ping(NodeId peer) {
   Connection* conn = conns_.find(peer);
   if (conn == nullptr) return;
   conn->ping_event = sim::kInvalidEventId;
-  send_msg(peer, std::make_shared<Ping>());
+  send_msg(peer, ctx_.net->pools().make<Ping>());
   arm(conn->timeout_event, params_.pong_timeout,
       [this, peer] { maintenance_timeout(peer); });
 }
@@ -362,7 +385,7 @@ void Servent::send_ping(NodeId peer) {
 void Servent::handle_ping(NodeId src, int hops) {
   // Pongs are answered unconditionally — Basic references are asymmetric,
   // so the pinged node generally has no connection state for the pinger.
-  send_msg(src, std::make_shared<Pong>());
+  send_msg(src, ctx_.net->pools().make<Pong>());
   Connection* conn = conns_.find(src);
   if (conn != nullptr && !conn->initiator) {
     conn->last_heard = ctx_.sim->now();
@@ -430,15 +453,18 @@ void Servent::issue_query() {
 
   const std::uint64_t qid = next_query_id_++;
   seen_queries_.insert(self(), qid, ctx_.sim->now());
-  pending_queries_.emplace(qid, PendingQuery{file, 0, -1, -1});
+  pending_qid_ = qid;
+  pending_query_ = PendingQuery{file, 0, -1, -1};
+  has_pending_query_ = true;
   ++queries_sent_;
 
-  auto query = std::make_shared<Query>();
-  query->query_id = qid;
-  query->origin = self();
-  query->file = file;
-  query->ttl = static_cast<std::uint8_t>(params_.query_ttl);
-  query->p2p_hops = 0;
+  net::Ref<Query> query = ctx_.net->pools().make<Query>();
+  Query* q = query.edit();
+  q->query_id = qid;
+  q->origin = self();
+  q->file = file;
+  q->ttl = static_cast<std::uint8_t>(params_.query_ttl);
+  q->p2p_hops = 0;
   for (const NodeId peer : conns_.peers()) {
     send_msg(peer, query);
   }
@@ -449,10 +475,9 @@ void Servent::issue_query() {
 }
 
 void Servent::finalize_query(std::uint64_t query_id) {
-  const auto it = pending_queries_.find(query_id);
-  if (it == pending_queries_.end()) return;
-  const PendingQuery result = it->second;
-  pending_queries_.erase(it);
+  if (!has_pending_query_ || pending_qid_ != query_id) return;
+  const PendingQuery result = pending_query_;
+  has_pending_query_ = false;
   if (recorder_ != nullptr) {
     recorder_->on_request_complete(result.file, result.answers,
                                    result.min_physical, result.min_p2p);
@@ -469,19 +494,20 @@ void Servent::handle_query(NodeId src, const Query& query) {
   }
   const auto hops_here = static_cast<std::uint8_t>(query.p2p_hops + 1);
   if (holds(query.file)) {
-    auto hit = std::make_shared<QueryHit>();
-    hit->query_id = query.query_id;
-    hit->file = query.file;
-    hit->holder = self();
-    hit->p2p_hops = hops_here;
+    net::Ref<QueryHit> hit = ctx_.net->pools().make<QueryHit>();
+    QueryHit* h = hit.edit();
+    h->query_id = query.query_id;
+    h->file = query.file;
+    h->holder = self();
+    h->p2p_hops = hops_here;
     // Answers go directly to the requirer (§7.2).
     send_msg(query.origin, std::move(hit));
   }
   // Forward even when we hold the file (§7.2), TTL permitting.
   if (query.ttl <= 1) return;
-  auto fwd = std::make_shared<Query>(query);
-  fwd->ttl = static_cast<std::uint8_t>(query.ttl - 1);
-  fwd->p2p_hops = hops_here;
+  net::Ref<Query> fwd = ctx_.net->pools().make_from(query);
+  fwd.edit()->ttl = static_cast<std::uint8_t>(query.ttl - 1);
+  fwd.edit()->p2p_hops = hops_here;
   for (const NodeId peer : conns_.peers()) {
     // Rules 2 and 3: never back to the sender, never to the origin.
     if (peer == src || peer == query.origin) continue;
@@ -490,16 +516,17 @@ void Servent::handle_query(NodeId src, const Query& query) {
 }
 
 int Servent::physical_distance_to(NodeId other) {
-  // Hot on query-heavy runs (one snapshot per query hit): reuse this
-  // servent's adjacency buffer instead of allocating a fresh snapshot.
-  ctx_.net->adjacency_snapshot(&adj_scratch_);
-  return graph::bfs_distance(adj_scratch_, self(), other);
+  // Hot on query-heavy runs (one BFS per query hit): the network owns one
+  // epoch-memoized adjacency snapshot shared by all servents, instead of
+  // each servent rebuilding (and keeping resident) its own copy.
+  return ctx_.net->physical_hop_distance(self(), other);
 }
 
 void Servent::handle_query_hit(NodeId /*src*/, const QueryHit& hit) {
-  const auto it = pending_queries_.find(hit.query_id);
-  if (it == pending_queries_.end()) return;  // response window already closed
-  PendingQuery& pending = it->second;
+  if (!has_pending_query_ || pending_qid_ != hit.query_id) {
+    return;  // response window already closed
+  }
+  PendingQuery& pending = pending_query_;
   ++pending.answers;
   const int phys = physical_distance_to(hit.holder);
   if (phys >= 0 &&

@@ -10,9 +10,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <memory>
-#include <unordered_map>
+#include <vector>
 
 #include "content/catalog.hpp"
 #include "core/connection.hpp"
@@ -120,7 +118,7 @@ class Servent {
   /// Initiator-side capacity re-check at Ack time.
   virtual bool can_initiate(ConnKind kind) const = 0;
   /// A pending ConnectRequest failed (rejected or timed out).
-  virtual void on_request_failed(NodeId peer, ConnKind kind) {}
+  virtual void on_request_failed(NodeId /*peer*/, ConnKind /*kind*/) {}
   /// The node crashed (base state already dropped): cancel algorithm-level
   /// events and forget algorithm-level volatile state, silently.
   virtual void on_crashed() {}
@@ -144,7 +142,8 @@ class Servent {
                           ConnKind kind);
   std::size_t pending_requests(ConnKind kind) const;
   bool has_pending_request(NodeId peer) const {
-    return pending_req_.find(peer) != pending_req_.end();
+    return static_cast<std::size_t>(peer) < pending_req_.size() &&
+           pending_req_[peer].active;
   }
 
   ConnectionTable& conns() noexcept { return conns_; }
@@ -159,9 +158,13 @@ class Servent {
   void disarm(sim::EventId& slot) noexcept;
 
  private:
+  /// One slot of the NodeId-indexed handshake table. Active slots are also
+  /// listed in pending_peers_ (swap-remove; order_index is the backlink).
   struct PendingRequest {
-    ConnKind kind;
+    ConnKind kind = ConnKind::kRegular;
     sim::EventId timeout = sim::kInvalidEventId;
+    std::uint32_t order_index = 0;
+    bool active = false;
   };
   struct PendingQuery {
     FileId file = 0;
@@ -169,6 +172,9 @@ class Servent {
     int min_physical = -1;
     int min_p2p = -1;
   };
+
+  PendingRequest* pending_slot(NodeId peer) noexcept;
+  void erase_pending(NodeId peer) noexcept;
 
   // Receive paths.
   void on_aodv_deliver(NodeId src, net::AppPayloadPtr app, int hops);
@@ -199,7 +205,10 @@ class Servent {
   MessageCounters counters_;
   ConnectionTable conns_;
 
-  std::map<NodeId, PendingRequest> pending_req_;
+  // Dense handshake state: slots indexed by peer NodeId plus the list of
+  // active peers. Replaces a std::map — handshakes are hot under churn.
+  std::vector<PendingRequest> pending_req_;
+  std::vector<NodeId> pending_peers_;
   std::uint64_t next_probe_id_ = 1;
 
   const content::Placement* placement_ = nullptr;
@@ -207,16 +216,19 @@ class Servent {
   QueryRecorder* recorder_ = nullptr;
   net::DupCache seen_queries_{120.0};
   std::uint64_t next_query_id_ = 1;
-  std::unordered_map<std::uint64_t, PendingQuery> pending_queries_;
+  // The query engine issues the next query only after the previous one's
+  // response window closed, so at most one query is ever pending: a single
+  // slot replaces the old id->PendingQuery hash map. Stale finalize events
+  // (possible across crash/rejoin) miss on the qid check.
+  std::uint64_t pending_qid_ = 0;
+  PendingQuery pending_query_;
+  bool has_pending_query_ = false;
   sim::EventId query_event_ = sim::kInvalidEventId;
   bool started_ = false;
 
   std::uint64_t queries_sent_ = 0;
   std::uint64_t connections_established_ = 0;
   std::uint64_t connections_closed_ = 0;
-
-  // Reused by physical_distance_to (one adjacency snapshot per query hit).
-  std::vector<std::vector<net::NodeId>> adj_scratch_;
 };
 
 }  // namespace p2p::core

@@ -44,9 +44,30 @@ class Graph {
 
 /// Shortest hop distance over a raw adjacency structure, early-exiting
 /// once `dst` settles; kUnreachable when disconnected. Lets callers that
-/// snapshot adjacency repeatedly (Network::adjacency_snapshot buffer
-/// overload) query distances without constructing a Graph.
+/// snapshot adjacency repeatedly (Network::shared_adjacency) query
+/// distances without constructing a Graph.
 int bfs_distance(const std::vector<std::vector<Vertex>>& adj, Vertex src,
                  Vertex dst);
+
+/// Reusable BFS workspace for the allocation-free bfs_distance overload:
+/// visited marks are generation stamps (no O(n) clear per query) and the
+/// frontier is a flat vector reused across calls.
+class BfsScratch {
+ public:
+  BfsScratch() = default;
+
+ private:
+  friend int bfs_distance(const std::vector<std::vector<Vertex>>& adj,
+                          Vertex src, Vertex dst, BfsScratch& scratch);
+  std::vector<std::uint32_t> stamp_;  // stamp_[v] == generation_ -> settled
+  std::vector<int> dist_;             // valid only where stamped
+  std::vector<Vertex> frontier_;      // BFS queue (head index, no pops)
+  std::uint32_t generation_ = 0;
+};
+
+/// bfs_distance without per-call allocations; same results as the
+/// allocating overload.
+int bfs_distance(const std::vector<std::vector<Vertex>>& adj, Vertex src,
+                 Vertex dst, BfsScratch& scratch);
 
 }  // namespace p2p::graph

@@ -21,7 +21,7 @@ NeighborIndex::NeighborIndex(geo::Region region, double range,
   cell_size_ = range + drift_margin_;
   cols_ = std::max<std::size_t>(1, static_cast<std::size_t>(region.width / cell_size_));
   rows_ = std::max<std::size_t>(1, static_cast<std::size_t>(region.height / cell_size_));
-  cells_.resize(cols_ * rows_);
+  cell_start_.assign(cols_ * rows_ + 1, 0);
 }
 
 std::size_t NeighborIndex::cell_of(geo::Vec2 p) const noexcept {
@@ -36,11 +36,27 @@ std::size_t NeighborIndex::cell_of(geo::Vec2 p) const noexcept {
 void NeighborIndex::refresh(sim::SimTime now,
                             const std::vector<geo::Vec2>& positions) {
   if (is_fresh(now, positions.size())) return;
-  for (auto& cell : cells_) cell.clear();
-  indexed_positions_ = positions;
-  for (NodeId i = 0; i < positions.size(); ++i) {
-    cells_[cell_of(positions[i])].push_back(i);
+  // Counting sort into the CSR arrays. Nodes stay id-ascending within a
+  // cell (stable by construction), so query output order is unchanged.
+  const std::size_t ncells = cols_ * rows_;
+  const std::size_t n = positions.size();
+  cell_start_.assign(ncells + 1, 0);
+  cell_scratch_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto c = static_cast<std::uint32_t>(cell_of(positions[i]));
+    cell_scratch_[i] = c;
+    ++cell_start_[c + 1];
   }
+  for (std::size_t c = 0; c < ncells; ++c) cell_start_[c + 1] += cell_start_[c];
+  cell_nodes_.resize(n);
+  cell_pos_.resize(n);
+  std::vector<std::uint32_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t k = cursor[cell_scratch_[i]]++;
+    cell_nodes_[k] = static_cast<NodeId>(i);
+    cell_pos_[k] = positions[i];
+  }
+  indexed_count_ = n;
   built_at_ = now;
   ever_built_ = true;
 }
@@ -55,19 +71,20 @@ void NeighborIndex::candidates_near(geo::Vec2 center,
   const auto cy = static_cast<std::ptrdiff_t>(q.y / cell_size_);
   const double reach = range_ + drift_margin_;
   const double reach2 = reach * reach;
+  const std::ptrdiff_t x0 = cx > 0 ? cx - 1 : 0;
+  const std::ptrdiff_t x1 =
+      cx + 1 < static_cast<std::ptrdiff_t>(cols_) ? cx + 1
+                                                  : static_cast<std::ptrdiff_t>(cols_) - 1;
   for (std::ptrdiff_t dy = -1; dy <= 1; ++dy) {
-    for (std::ptrdiff_t dx = -1; dx <= 1; ++dx) {
-      const std::ptrdiff_t x = cx + dx;
-      const std::ptrdiff_t y = cy + dy;
-      if (x < 0 || y < 0 || x >= static_cast<std::ptrdiff_t>(cols_) ||
-          y >= static_cast<std::ptrdiff_t>(rows_)) {
-        continue;
-      }
-      for (const NodeId id :
-           cells_[static_cast<std::size_t>(y) * cols_ + static_cast<std::size_t>(x)]) {
-        if (geo::distance2(indexed_positions_[id], center) <= reach2) {
-          out->push_back(id);
-        }
+    const std::ptrdiff_t y = cy + dy;
+    if (y < 0 || y >= static_cast<std::ptrdiff_t>(rows_)) continue;
+    // The row's three cells are contiguous in the CSR arrays: one scan.
+    const std::size_t row = static_cast<std::size_t>(y) * cols_;
+    const std::uint32_t begin = cell_start_[row + static_cast<std::size_t>(x0)];
+    const std::uint32_t end = cell_start_[row + static_cast<std::size_t>(x1) + 1];
+    for (std::uint32_t k = begin; k < end; ++k) {
+      if (geo::distance2(cell_pos_[k], center) <= reach2) {
+        out->push_back(cell_nodes_[k]);
       }
     }
   }

@@ -29,8 +29,7 @@ class NeighborIndex {
   /// for staleness — callers that want to skip the O(n) position sampling
   /// a refresh needs should probe this instead of re-deriving the check.
   bool is_fresh(sim::SimTime now, std::size_t n) const noexcept {
-    return ever_built_ && now - built_at_ < tolerance_ &&
-           n == indexed_positions_.size();
+    return ever_built_ && now - built_at_ < tolerance_ && n == indexed_count_;
   }
 
   /// Rebuild if older than the tolerance. `positions[i]` is node i's
@@ -55,8 +54,15 @@ class NeighborIndex {
   double cell_size_;
   std::size_t cols_ = 0;
   std::size_t rows_ = 0;
-  std::vector<std::vector<NodeId>> cells_;
-  std::vector<geo::Vec2> indexed_positions_;
+  // CSR grid: nodes of cell c live at [cell_start_[c], cell_start_[c+1])
+  // in cell_nodes_, with their indexed positions alongside in cell_pos_.
+  // The three cells of a grid row are adjacent in this layout, so a 3x3
+  // query is three contiguous scans instead of nine list walks.
+  std::vector<std::uint32_t> cell_start_;
+  std::vector<NodeId> cell_nodes_;
+  std::vector<geo::Vec2> cell_pos_;
+  std::vector<std::uint32_t> cell_scratch_;  // refresh: per-node cell ids
+  std::size_t indexed_count_ = 0;
   sim::SimTime built_at_ = -1.0;
   bool ever_built_ = false;
 };

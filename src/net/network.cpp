@@ -25,6 +25,7 @@ NodeId Network::add_node(std::unique_ptr<mobility::MobilityModel> mobility,
   down_.push_back(0);
   const auto id = static_cast<NodeId>(nodes_.size() - 1);
   refresh_down(id);  // a zero-capacity battery is dead on arrival
+  ++liveness_epoch_;  // a new node invalidates any shared adjacency memo
   return id;
 }
 
@@ -201,6 +202,61 @@ void Network::adjacency_snapshot(std::vector<std::vector<NodeId>>* out) {
     // Round up: under-reserving costs a realloc, over-reserving a few slots.
     degree_hint_ = (half_edges + nodes_.size() - 1) / nodes_.size() + 1;
   }
+}
+
+const std::vector<std::vector<NodeId>>& Network::shared_adjacency() {
+  const sim::SimTime now = sim_->now();
+  if (shared_adj_time_ == now && shared_adj_epoch_ == liveness_epoch_) {
+    return shared_adj_;
+  }
+  adjacency_snapshot(&shared_adj_);
+  shared_adj_time_ = now;
+  shared_adj_epoch_ = liveness_epoch_;
+  ++adjacency_builds_;
+  return shared_adj_;
+}
+
+int Network::physical_hop_distance(NodeId a, NodeId b) {
+  // If the memoized snapshot is already fresh (e.g. several query hits at
+  // the same instant), a BFS over it is cheapest — no rebuild happens.
+  if (shared_adj_time_ == sim_->now() && shared_adj_epoch_ == liveness_epoch_) {
+    return graph::bfs_distance(shared_adj_, a, b, bfs_scratch_);
+  }
+  // Otherwise BFS directly over the spatial grid: same edge relation as
+  // adjacency_snapshot() (alive endpoints, fresh positions within range,
+  // candidates_near being a guaranteed superset within the drift margin),
+  // and the BFS distance is unique, so the result is identical — without
+  // paying O(n * k) to materialize every row for one source/target pair.
+  const std::size_t n = nodes_.size();
+  if (a >= n || b >= n) return graph::kUnreachable;
+  if (a == b) return 0;
+  if (!alive(a) || !alive(b)) return graph::kUnreachable;
+  refresh_index();
+  if (grid_stamp_.size() < n) {
+    grid_stamp_.resize(n, 0);
+    grid_dist_.resize(n);
+  }
+  const std::uint64_t gen = ++grid_gen_;
+  const double r2 = params_.range * params_.range;
+  grid_queue_.clear();
+  grid_queue_.push_back(a);
+  grid_stamp_[a] = gen;
+  grid_dist_[a] = 0;
+  for (std::size_t head = 0; head < grid_queue_.size(); ++head) {
+    const NodeId u = grid_queue_[head];
+    const int du = grid_dist_[u];
+    const geo::Vec2 up = position_of(u);
+    index_.candidates_near(up, &grid_cand_);
+    for (const NodeId v : grid_cand_) {
+      if (grid_stamp_[v] == gen || v == u || !alive(v)) continue;
+      if (geo::distance2(up, position_of(v)) > r2) continue;
+      if (v == b) return du + 1;
+      grid_stamp_[v] = gen;
+      grid_dist_[v] = du + 1;
+      grid_queue_.push_back(v);
+    }
+  }
+  return graph::kUnreachable;
 }
 
 sim::SimTime Network::schedule_tx(NodeState& node, double duration) {

@@ -15,10 +15,12 @@
 #include <vector>
 
 #include "geo/vec2.hpp"
+#include "graph/graph.hpp"
 #include "mobility/model.hpp"
 #include "net/energy.hpp"
 #include "net/mac.hpp"
 #include "net/neighbor_index.hpp"
+#include "net/payload.hpp"
 #include "net/types.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
@@ -73,10 +75,29 @@ class Network {
   /// adjacency[i] lists i's neighbors; down nodes get empty lists.
   std::vector<std::vector<NodeId>> adjacency_snapshot();
   /// Buffer-reusing overload for callers that snapshot repeatedly
-  /// (reconfiguration rounds, per-query-hit distance checks): inner
-  /// vectors keep their capacity across calls, and fresh ones are
-  /// reserved from the previous round's mean degree.
+  /// (reconfiguration rounds): inner vectors keep their capacity across
+  /// calls, and fresh ones are reserved from the previous round's mean
+  /// degree.
   void adjacency_snapshot(std::vector<std::vector<NodeId>>* out);
+
+  /// Network-level adjacency snapshot, memoized on {now, liveness epoch}:
+  /// every servent answering query hits at the same simulated instant
+  /// shares ONE build (and one resident structure) instead of each holding
+  /// an O(n^2) private copy. Invalidated by time advancing or any node
+  /// flipping between alive and down. Borrow only — do not hold across
+  /// simulated time.
+  const std::vector<std::vector<NodeId>>& shared_adjacency();
+  /// How many times shared_adjacency() actually rebuilt (the memoization
+  /// regression tests pin this).
+  std::uint64_t adjacency_builds() const noexcept { return adjacency_builds_; }
+
+  /// Physical hop distance between two nodes. Uses the shared snapshot
+  /// when it is already fresh; otherwise runs a BFS directly over the
+  /// spatial grid (explores only the ball around `a`, early-exits at `b`)
+  /// instead of materializing the full adjacency for a single distance.
+  /// Either path yields the same unique BFS distance. Network-owned
+  /// scratch — no per-query allocations.
+  int physical_hop_distance(NodeId a, NodeId b);
 
   EnergyModel& energy(NodeId id);
   const EnergyModel& energy(NodeId id) const;
@@ -132,6 +153,12 @@ class Network {
   sim::Simulator& simulator() noexcept { return *sim_; }
   const NetworkParams& params() const noexcept { return params_; }
 
+  /// Per-run payload pools: every message this world sends is acquired
+  /// here (see net/payload.hpp). Pools are holder-counted, so frames still
+  /// queued in the simulator keep their pools alive past ~Network.
+  PayloadPools& pools() noexcept { return pools_; }
+  const PayloadPools& pools() const noexcept { return pools_; }
+
   /// Attach a link-layer event observer (packet tracing); nullptr detaches.
   void set_observer(NetObserver* observer) noexcept { observer_ = observer; }
 
@@ -174,10 +201,16 @@ class Network {
   sim::SimTime schedule_tx(NodeState& node, double duration);
 
   /// Recompute down_[id] from the authoritative NodeState (failed flag +
-  /// battery); called wherever either input can change.
+  /// battery); called wherever either input can change. Compare before
+  /// store: the liveness epoch (which invalidates the shared adjacency
+  /// memo) bumps only on an actual flip, and this runs on every tx/rx.
   void refresh_down(NodeId id) noexcept {
-    down_[id] = static_cast<std::uint8_t>(nodes_[id].failed ||
-                                          !nodes_[id].energy.alive());
+    const auto down = static_cast<std::uint8_t>(nodes_[id].failed ||
+                                                !nodes_[id].energy.alive());
+    if (down != down_[id]) {
+      down_[id] = down;
+      ++liveness_epoch_;
+    }
   }
 
   sim::Simulator* sim_;
@@ -196,6 +229,26 @@ class Network {
   std::vector<std::vector<NodeId>> batch_pool_;
   std::vector<std::uint32_t> free_batches_;
   std::size_t degree_hint_ = 0;  // mean degree seen by the last snapshot
+
+  // Shared adjacency memo (see shared_adjacency()). liveness_epoch_ counts
+  // alive<->down flips and node additions; the snapshot is fresh while
+  // both the simulated instant and the epoch match the last build.
+  PayloadPools pools_;
+  std::vector<std::vector<NodeId>> shared_adj_;
+  sim::SimTime shared_adj_time_ = -1.0;  // SimTime is never negative
+  std::uint64_t shared_adj_epoch_ = 0;
+  std::uint64_t liveness_epoch_ = 0;
+  std::uint64_t adjacency_builds_ = 0;
+  graph::BfsScratch bfs_scratch_;
+  // Grid-BFS scratch for physical_hop_distance() when the shared snapshot
+  // is stale: generation-stamped visited marks plus a flat frontier, and a
+  // dedicated candidate buffer (scratch_candidates_ is live inside
+  // broadcast(), which can be on the stack when a distance is queried).
+  std::vector<std::uint64_t> grid_stamp_;
+  std::vector<int> grid_dist_;
+  std::vector<NodeId> grid_queue_;
+  std::vector<NodeId> grid_cand_;
+  std::uint64_t grid_gen_ = 0;
 
   /// One channel-level draw (base loss + gray zone) — the fault-free fast
   /// path; callers check faults_active() and take channel_lost_faulted()

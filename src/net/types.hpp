@@ -3,7 +3,8 @@
 
 #include <cstdint>
 #include <limits>
-#include <memory>
+
+#include "net/payload.hpp"
 
 namespace p2p::net {
 
@@ -13,23 +14,34 @@ using NodeId = std::uint32_t;
 inline constexpr NodeId kBroadcast = std::numeric_limits<NodeId>::max();
 inline constexpr NodeId kInvalidNode = kBroadcast - 1;
 
+/// A payload type's dispatch tag. The routing layer's values live in
+/// routing::FrameKind (routing/messages.hpp), the P2P layer's in
+/// core::MsgType (core/messages.hpp); kUntaggedPayload marks payloads
+/// that no dispatcher claims (test probes, bench fillers) — receive
+/// switches ignore them, exactly like a dynamic_cast miss used to.
+using PayloadKind = std::uint8_t;
+inline constexpr PayloadKind kUntaggedPayload = 0xFF;
+
 /// Base class of everything a radio frame can carry. Routing-layer
 /// messages derive from it; the net layer treats payloads as opaque,
-/// immutable, shareable blobs (one allocation per logical message even
-/// when flooded to dozens of receivers).
-struct FramePayload {
-  virtual ~FramePayload() = default;
+/// immutable, shareable blobs (one pooled slot per logical message even
+/// when flooded to dozens of receivers; see net/payload.hpp).
+struct FramePayload : RefCountBase {
+  /// routing::FrameKind value; receive paths dispatch on this tag
+  /// (switch + static_cast) instead of RTTI.
+  PayloadKind kind = kUntaggedPayload;
 };
-using FramePayloadPtr = std::shared_ptr<const FramePayload>;
+using FramePayloadPtr = Ref<const FramePayload>;
 
 /// Base class of application-level payloads carried *inside* routing
 /// messages (the P2P layer's Ping/Query/... derive from this).
-struct AppPayload {
-  virtual ~AppPayload() = default;
+struct AppPayload : RefCountBase {
+  /// core::MsgType value for P2P messages; kUntaggedPayload otherwise.
+  PayloadKind kind = kUntaggedPayload;
   /// Nominal serialized size, for bandwidth/energy accounting.
   virtual std::size_t size_bytes() const noexcept = 0;
 };
-using AppPayloadPtr = std::shared_ptr<const AppPayload>;
+using AppPayloadPtr = Ref<const AppPayload>;
 
 /// One received radio frame, as seen by a node's listeners.
 struct Frame {

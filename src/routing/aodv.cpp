@@ -50,7 +50,7 @@ void AodvAgent::send(NodeId dst, AppPayloadPtr app) {
     }
     const std::size_t bytes = data_bytes(data);
     net_->unicast(self_, route->next_hop,
-                  std::make_shared<const DataMsg>(std::move(data)), bytes);
+                  net_->pools().make_from(std::move(data)), bytes);
     return;
   }
   auto& pending = pending_[dst];
@@ -84,7 +84,7 @@ void AodvAgent::send_rreq(NodeId dst, std::uint8_t ttl) {
   rreq.ttl = ttl;
   rreq_seen_.insert(self_, rreq.bcast_id, sim_->now());
   ++stats_.rreq_originated;
-  net_->broadcast(self_, std::make_shared<const Rreq>(rreq), kRreqBytes);
+  net_->broadcast(self_, net_->pools().make_from(std::move(rreq)), kRreqBytes);
 
   auto& pending = pending_[dst];
   pending.timeout = sim_->after(params_.ring_traversal_time(ttl),
@@ -169,24 +169,38 @@ int AodvAgent::route_hops(NodeId dst) {
 }
 
 void AodvAgent::on_frame(const net::Frame& frame) {
-  if (const auto* rreq = dynamic_cast<const Rreq*>(frame.payload.get())) {
-    handle_rreq(frame.sender, *rreq);
-  } else if (const auto* rrep = dynamic_cast<const Rrep*>(frame.payload.get())) {
-    if (frame.link_dst == self_) handle_rrep(frame.sender, *rrep);
-  } else if (const auto* rerr = dynamic_cast<const Rerr*>(frame.payload.get())) {
-    if (frame.link_dst == self_ || frame.link_dst == net::kBroadcast) {
-      handle_rerr(frame.sender, *rerr);
-    }
-  } else if (const auto* data = dynamic_cast<const DataMsg*>(frame.payload.get())) {
-    if (frame.link_dst == self_) {
-      DataMsg copy = *data;
+  // Tag dispatch (net::FramePayload::kind): other protocols' frames and
+  // untagged payloads fall to default, exactly like a dynamic_cast miss.
+  switch (static_cast<FrameKind>(frame.payload->kind)) {
+    case FrameKind::kRreq:
+      handle_rreq(frame.sender,
+                  *static_cast<const Rreq*>(frame.payload.get()));
+      break;
+    case FrameKind::kRrep:
+      if (frame.link_dst == self_) {
+        handle_rrep(frame.sender,
+                    *static_cast<const Rrep*>(frame.payload.get()));
+      }
+      break;
+    case FrameKind::kRerr:
+      if (frame.link_dst == self_ || frame.link_dst == net::kBroadcast) {
+        handle_rerr(frame.sender,
+                    *static_cast<const Rerr*>(frame.payload.get()));
+      }
+      break;
+    case FrameKind::kData: {
+      if (frame.link_dst != self_) break;
+      DataMsg copy = *static_cast<const DataMsg*>(frame.payload.get());
       copy.hops_traveled = static_cast<std::uint8_t>(copy.hops_traveled + 1);
       // Receiving data refreshes the neighbor route and the route to src.
       table_.update(frame.sender, frame.sender, 1, 0, false,
                     sim_->now() + params_.active_route_timeout);
       table_.refresh(copy.src, sim_->now() + params_.active_route_timeout);
       route_data(std::move(copy));
+      break;
     }
+    default:
+      break;
   }
 }
 
@@ -224,7 +238,8 @@ void AodvAgent::handle_rreq(NodeId from, const Rreq& rreq) {
     rrep.hop_count = 0;
     rrep.lifetime = params_.my_route_timeout;
     ++stats_.rrep_sent;
-    net_->unicast(self_, from, std::make_shared<const Rrep>(rrep), kRrepBytes);
+    net_->unicast(self_, from, net_->pools().make_from(std::move(rrep)),
+                  kRrepBytes);
     return;
   }
 
@@ -242,7 +257,8 @@ void AodvAgent::handle_rreq(NodeId from, const Rreq& rreq) {
     // Gratuitous precursor bookkeeping (RFC 3561 §6.6.2).
     table_.add_precursor(rreq.dst, from);
     ++stats_.rrep_sent;
-    net_->unicast(self_, from, std::make_shared<const Rrep>(rrep), kRrepBytes);
+    net_->unicast(self_, from, net_->pools().make_from(std::move(rrep)),
+                  kRrepBytes);
     return;
   }
 
@@ -252,7 +268,7 @@ void AodvAgent::handle_rreq(NodeId from, const Rreq& rreq) {
     fwd.ttl = static_cast<std::uint8_t>(rreq.ttl - 1);
     fwd.hop_count = static_cast<std::uint8_t>(rreq.hop_count + 1);
     ++stats_.rreq_forwarded;
-    net_->broadcast(self_, std::make_shared<const Rreq>(fwd), kRreqBytes);
+    net_->broadcast(self_, net_->pools().make_from(std::move(fwd)), kRreqBytes);
   }
 }
 
@@ -287,7 +303,7 @@ void AodvAgent::handle_rrep(NodeId from, const Rrep& rrep) {
   Rrep fwd = rrep;
   fwd.hop_count = hops;
   ++stats_.rrep_forwarded;
-  net_->unicast(self_, reverse->next_hop, std::make_shared<const Rrep>(fwd),
+  net_->unicast(self_, reverse->next_hop, net_->pools().make_from(std::move(fwd)),
                 kRrepBytes);
 }
 
@@ -339,8 +355,8 @@ void AodvAgent::send_rerr_to_precursors(const std::vector<NodeId>& lost_dsts) {
     }
   }
   if (rerr.unreachable.empty() || precursors.empty()) return;
-  const auto payload = std::make_shared<const Rerr>(rerr);
   const std::size_t bytes = rerr_bytes(rerr);
+  const net::Ref<Rerr> payload = net_->pools().make_from(std::move(rerr));
   for (const NodeId p : precursors) {
     if (net_->link_usable(self_, p)) {
       ++stats_.rerr_sent;
@@ -366,7 +382,7 @@ void AodvAgent::route_data(DataMsg data) {
     rerr.unreachable.emplace_back(data.dst, stale != nullptr ? stale->dst_seq : 0);
     const std::size_t bytes = rerr_bytes(rerr);
     ++stats_.rerr_sent;
-    net_->broadcast(self_, std::make_shared<const Rerr>(rerr), bytes);
+    net_->broadcast(self_, net_->pools().make_from(std::move(rerr)), bytes);
     return;
   }
   if (!net_->link_usable(self_, route->next_hop)) {
@@ -380,7 +396,7 @@ void AodvAgent::route_data(DataMsg data) {
   ++stats_.data_forwarded;
   const std::size_t bytes = data_bytes(data);
   net_->unicast(self_, route->next_hop,
-                std::make_shared<const DataMsg>(std::move(data)), bytes);
+                net_->pools().make_from(std::move(data)), bytes);
 }
 
 }  // namespace p2p::routing

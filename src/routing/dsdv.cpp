@@ -66,8 +66,7 @@ void DsdvAgent::broadcast_update(bool full) {
   ++stats_.updates_sent;
   stats_.entries_advertised += update.entries.size();
   const std::size_t bytes = dsdv_update_bytes(update);
-  net_->broadcast(self_, std::make_shared<const DsdvUpdate>(std::move(update)),
-                  bytes);
+  net_->broadcast(self_, net_->pools().make_from(std::move(update)), bytes);
 }
 
 void DsdvAgent::handle_update(NodeId from, const DsdvUpdate& update) {
@@ -165,19 +164,24 @@ void DsdvAgent::route_data(DataMsg data) {
   if (data.src != self_) ++stats_.data_forwarded;
   const std::size_t bytes = data_bytes(data);
   net_->unicast(self_, row->next_hop,
-                std::make_shared<const DataMsg>(std::move(data)), bytes);
+                net_->pools().make_from(std::move(data)), bytes);
 }
 
 void DsdvAgent::on_frame(const net::Frame& frame) {
-  if (const auto* update = dynamic_cast<const DsdvUpdate*>(frame.payload.get())) {
-    handle_update(frame.sender, *update);
-  } else if (const auto* data =
-                 dynamic_cast<const DataMsg*>(frame.payload.get())) {
-    if (frame.link_dst == self_) {
-      DataMsg copy = *data;
+  switch (static_cast<FrameKind>(frame.payload->kind)) {
+    case FrameKind::kDsdvUpdate:
+      handle_update(frame.sender,
+                    *static_cast<const DsdvUpdate*>(frame.payload.get()));
+      break;
+    case FrameKind::kData: {
+      if (frame.link_dst != self_) break;
+      DataMsg copy = *static_cast<const DataMsg*>(frame.payload.get());
       copy.hops_traveled = static_cast<std::uint8_t>(copy.hops_traveled + 1);
       route_data(std::move(copy));
+      break;
     }
+    default:
+      break;
   }
 }
 

@@ -44,6 +44,9 @@ inline constexpr std::uint32_t kDsdvInfinity = 0xFFFF;
 
 /// Routing-table dump broadcast to neighbors.
 struct DsdvUpdate final : net::FramePayload {
+  DsdvUpdate() noexcept {
+    kind = static_cast<net::PayloadKind>(FrameKind::kDsdvUpdate);
+  }
   NodeId origin = net::kInvalidNode;
   std::vector<DsdvEntry> entries;
 };

@@ -122,8 +122,7 @@ void DsrAgent::send_rreq(NodeId dst) {
   rreq_seen_.insert(self_, rreq.request_id, sim_->now());
   ++stats_.rreq_originated;
   const std::size_t bytes = dsr_rreq_bytes(rreq);
-  net_->broadcast(self_, std::make_shared<const DsrRreq>(std::move(rreq)),
-                  bytes);
+  net_->broadcast(self_, net_->pools().make_from(std::move(rreq)), bytes);
   auto& pending = pending_[dst];
   pending.timeout = sim_->after(params_.discovery_timeout,
                                 [this, dst] { discovery_timeout(dst); });
@@ -187,8 +186,7 @@ void DsrAgent::handle_rreq(NodeId from, const DsrRreq& rreq) {
     const NodeId next = rrep.route[rrep.next_index];
     ++stats_.rrep_sent;
     const std::size_t bytes = dsr_rrep_bytes(rrep);
-    net_->unicast(self_, next, std::make_shared<const DsrRrep>(std::move(rrep)),
-                  bytes);
+    net_->unicast(self_, next, net_->pools().make_from(std::move(rrep)), bytes);
     return;
   }
 
@@ -197,8 +195,7 @@ void DsrAgent::handle_rreq(NodeId from, const DsrRreq& rreq) {
   fwd.path.push_back(self_);
   ++stats_.rreq_forwarded;
   const std::size_t bytes = dsr_rreq_bytes(fwd);
-  net_->broadcast(self_, std::make_shared<const DsrRreq>(std::move(fwd)),
-                  bytes);
+  net_->broadcast(self_, net_->pools().make_from(std::move(fwd)), bytes);
 }
 
 void DsrAgent::handle_rrep(const DsrRrep& rrep) {
@@ -217,8 +214,7 @@ void DsrAgent::handle_rrep(const DsrRrep& rrep) {
   const NodeId next = fwd.route[fwd.next_index];
   const std::size_t bytes = dsr_rrep_bytes(fwd);
   if (!net_->in_range(self_, next)) return;  // reply dies; origin retries
-  net_->unicast(self_, next, std::make_shared<const DsrRrep>(std::move(fwd)),
-                bytes);
+  net_->unicast(self_, next, net_->pools().make_from(std::move(fwd)), bytes);
 }
 
 void DsrAgent::handle_rerr(const DsrRerr& rerr) {
@@ -232,8 +228,7 @@ void DsrAgent::handle_rerr(const DsrRerr& rerr) {
   if (!net_->in_range(self_, next)) return;
   ++stats_.rerr_sent;
   const std::size_t bytes = dsr_rerr_bytes(fwd);
-  net_->unicast(self_, next, std::make_shared<const DsrRerr>(std::move(fwd)),
-                bytes);
+  net_->unicast(self_, next, net_->pools().make_from(std::move(fwd)), bytes);
 }
 
 bool DsrAgent::forward_data(DsrData data) {
@@ -245,8 +240,7 @@ bool DsrAgent::forward_data(DsrData data) {
     return false;
   }
   const std::size_t bytes = dsr_data_bytes(data);
-  net_->unicast(self_, next,
-                std::make_shared<const DsrData>(std::move(data)), bytes);
+  net_->unicast(self_, next, net_->pools().make_from(std::move(data)), bytes);
   return true;
 }
 
@@ -268,8 +262,7 @@ void DsrAgent::report_break(const DsrData& data, NodeId broken_to) {
   if (!net_->in_range(self_, next)) return;
   ++stats_.rerr_sent;
   const std::size_t bytes = dsr_rerr_bytes(rerr);
-  net_->unicast(self_, next, std::make_shared<const DsrRerr>(std::move(rerr)),
-                bytes);
+  net_->unicast(self_, next, net_->pools().make_from(std::move(rerr)), bytes);
 }
 
 void DsrAgent::handle_data(DsrData data) {
@@ -288,17 +281,28 @@ void DsrAgent::handle_data(DsrData data) {
 }
 
 void DsrAgent::on_frame(const net::Frame& frame) {
-  if (const auto* rreq = dynamic_cast<const DsrRreq*>(frame.payload.get())) {
-    handle_rreq(frame.sender, *rreq);
-  } else if (const auto* rrep =
-                 dynamic_cast<const DsrRrep*>(frame.payload.get())) {
-    if (frame.link_dst == self_) handle_rrep(*rrep);
-  } else if (const auto* rerr =
-                 dynamic_cast<const DsrRerr*>(frame.payload.get())) {
-    if (frame.link_dst == self_) handle_rerr(*rerr);
-  } else if (const auto* data =
-                 dynamic_cast<const DsrData*>(frame.payload.get())) {
-    if (frame.link_dst == self_) handle_data(*data);
+  switch (static_cast<FrameKind>(frame.payload->kind)) {
+    case FrameKind::kDsrRreq:
+      handle_rreq(frame.sender,
+                  *static_cast<const DsrRreq*>(frame.payload.get()));
+      break;
+    case FrameKind::kDsrRrep:
+      if (frame.link_dst == self_) {
+        handle_rrep(*static_cast<const DsrRrep*>(frame.payload.get()));
+      }
+      break;
+    case FrameKind::kDsrRerr:
+      if (frame.link_dst == self_) {
+        handle_rerr(*static_cast<const DsrRerr*>(frame.payload.get()));
+      }
+      break;
+    case FrameKind::kDsrData:
+      if (frame.link_dst == self_) {
+        handle_data(*static_cast<const DsrData*>(frame.payload.get()));
+      }
+      break;
+    default:
+      break;
   }
 }
 

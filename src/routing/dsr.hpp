@@ -39,6 +39,7 @@ struct DsrParams {
 /// Flooded route request; `path` holds the nodes traversed so far
 /// (excluding the origin).
 struct DsrRreq final : net::FramePayload {
+  DsrRreq() noexcept { kind = static_cast<net::PayloadKind>(FrameKind::kDsrRreq); }
   NodeId origin = net::kInvalidNode;
   std::uint64_t request_id = 0;
   NodeId target = net::kInvalidNode;
@@ -51,6 +52,7 @@ inline std::size_t dsr_rreq_bytes(const DsrRreq& r) noexcept {
 /// Source-routed reply carrying the full discovered route
 /// (origin .. target inclusive).
 struct DsrRrep final : net::FramePayload {
+  DsrRrep() noexcept { kind = static_cast<net::PayloadKind>(FrameKind::kDsrRrep); }
   std::vector<NodeId> route;   // route[0] = origin, route.back() = target
   std::uint8_t next_index = 0; // position of the *next* receiver, walking
                                // the route backwards from the target
@@ -61,6 +63,7 @@ inline std::size_t dsr_rrep_bytes(const DsrRrep& r) noexcept {
 
 /// Route error: link route[broken_index] -> route[broken_index+1] is gone.
 struct DsrRerr final : net::FramePayload {
+  DsrRerr() noexcept { kind = static_cast<net::PayloadKind>(FrameKind::kDsrRerr); }
   NodeId unreachable_from = net::kInvalidNode;
   NodeId unreachable_to = net::kInvalidNode;
   std::vector<NodeId> back_route;  // source route toward the data source
@@ -72,6 +75,7 @@ inline std::size_t dsr_rerr_bytes(const DsrRerr& r) noexcept {
 
 /// Source-routed application data.
 struct DsrData final : net::FramePayload {
+  DsrData() noexcept { kind = static_cast<net::PayloadKind>(FrameKind::kDsrData); }
   std::vector<NodeId> route;   // route[0] = src, route.back() = dst
   std::uint8_t next_index = 0; // receiver position within route
   AppPayloadPtr app;

@@ -19,21 +19,24 @@ FloodService::FloodService(sim::Simulator& simulator, net::Network& network,
 
 void FloodService::flood(AppPayloadPtr app, int max_hops) {
   P2P_ASSERT(max_hops >= 1);
-  FloodMsg msg;
-  msg.origin = self_;
-  msg.flood_id = next_flood_id_++;
-  msg.hops_remaining = static_cast<std::uint8_t>(max_hops - 1);
-  msg.hops_traveled = 0;
-  msg.app = std::move(app);
-  seen_.insert(self_, msg.flood_id, sim_->now());
+  net::Ref<FloodMsg> msg = net_->pools().make<FloodMsg>();
+  FloodMsg* m = msg.edit();
+  m->origin = self_;
+  m->flood_id = next_flood_id_++;
+  m->hops_remaining = static_cast<std::uint8_t>(max_hops - 1);
+  m->hops_traveled = 0;
+  m->app = std::move(app);
+  seen_.insert(self_, m->flood_id, sim_->now());
   ++stats_.originated;
-  const std::size_t bytes = flood_bytes(msg);
-  net_->broadcast(self_, std::make_shared<const FloodMsg>(std::move(msg)), bytes);
+  const std::size_t bytes = flood_bytes(*m);
+  net_->broadcast(self_, std::move(msg), bytes);
 }
 
 void FloodService::on_frame(const net::Frame& frame) {
-  const auto* msg = dynamic_cast<const FloodMsg*>(frame.payload.get());
-  if (msg == nullptr) return;
+  if (frame.payload->kind != static_cast<net::PayloadKind>(FrameKind::kFlood)) {
+    return;
+  }
+  const auto* msg = static_cast<const FloodMsg*>(frame.payload.get());
   if (msg->origin == self_) return;  // own flood echoed back
   if (!seen_.insert(msg->origin, msg->flood_id, sim_->now())) {
     ++stats_.duplicates;
@@ -48,13 +51,14 @@ void FloodService::on_frame(const net::Frame& frame) {
   if (on_receive_) on_receive_(msg->origin, msg->app, hops);
 
   if (msg->hops_remaining > 0) {
-    FloodMsg fwd = *msg;
-    fwd.hops_remaining = static_cast<std::uint8_t>(msg->hops_remaining - 1);
-    fwd.hops_traveled = static_cast<std::uint8_t>(msg->hops_traveled + 1);
+    net::Ref<FloodMsg> fwd = net_->pools().make<FloodMsg>();
+    FloodMsg* f = fwd.edit();
+    *f = *msg;  // data copy; the slot's pool identity survives (rc-neutral)
+    f->hops_remaining = static_cast<std::uint8_t>(msg->hops_remaining - 1);
+    f->hops_traveled = static_cast<std::uint8_t>(msg->hops_traveled + 1);
     ++stats_.forwarded;
-    const std::size_t bytes = flood_bytes(fwd);
-    net_->broadcast(self_, std::make_shared<const FloodMsg>(std::move(fwd)),
-                    bytes);
+    const std::size_t bytes = flood_bytes(*f);
+    net_->broadcast(self_, std::move(fwd), bytes);
   }
 }
 

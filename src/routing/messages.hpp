@@ -13,8 +13,25 @@ namespace p2p::routing {
 using net::AppPayloadPtr;
 using net::NodeId;
 
+/// Frame-payload dispatch tags (net::FramePayload::kind): every routing
+/// message stamps its tag at construction so `on_frame` handlers dispatch
+/// with a switch + static_cast instead of chained dynamic_casts.
+enum class FrameKind : net::PayloadKind {
+  kRreq,
+  kRrep,
+  kRerr,
+  kData,
+  kFlood,
+  kDsdvUpdate,
+  kDsrRreq,
+  kDsrRrep,
+  kDsrRerr,
+  kDsrData,
+};
+
 /// Route request — flooded with expanding-ring TTL.
 struct Rreq final : net::FramePayload {
+  Rreq() noexcept { kind = static_cast<net::PayloadKind>(FrameKind::kRreq); }
   NodeId origin = net::kInvalidNode;
   std::uint32_t origin_seq = 0;
   std::uint64_t bcast_id = 0;
@@ -28,6 +45,7 @@ inline constexpr std::size_t kRreqBytes = 24;
 
 /// Route reply — unicast back along the reverse path.
 struct Rrep final : net::FramePayload {
+  Rrep() noexcept { kind = static_cast<net::PayloadKind>(FrameKind::kRrep); }
   NodeId route_dst = net::kInvalidNode;  // node the route leads to
   std::uint32_t dst_seq = 0;
   NodeId origin = net::kInvalidNode;     // requester the reply travels to
@@ -38,6 +56,7 @@ inline constexpr std::size_t kRrepBytes = 20;
 
 /// Route error — unicast to precursors of broken routes.
 struct Rerr final : net::FramePayload {
+  Rerr() noexcept { kind = static_cast<net::PayloadKind>(FrameKind::kRerr); }
   /// (destination, destination sequence number) pairs now unreachable.
   std::vector<std::pair<NodeId, std::uint32_t>> unreachable;
 };
@@ -50,6 +69,7 @@ inline std::size_t rerr_bytes(const Rerr& rerr) noexcept {
 
 /// Application data riding hop-by-hop over AODV routes.
 struct DataMsg final : net::FramePayload {
+  DataMsg() noexcept { kind = static_cast<net::PayloadKind>(FrameKind::kData); }
   NodeId src = net::kInvalidNode;
   NodeId dst = net::kInvalidNode;
   std::uint8_t hops_traveled = 0;  // hops already traversed when transmitted
@@ -63,6 +83,7 @@ inline std::size_t data_bytes(const DataMsg& data) noexcept {
 
 /// Hop-limited application broadcast (the paper's controlled broadcast).
 struct FloodMsg final : net::FramePayload {
+  FloodMsg() noexcept { kind = static_cast<net::PayloadKind>(FrameKind::kFlood); }
   NodeId origin = net::kInvalidNode;
   std::uint64_t flood_id = 0;
   std::uint8_t hops_remaining = 0;  // rebroadcast budget after this hop

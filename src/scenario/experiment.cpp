@@ -112,6 +112,9 @@ ExperimentResult run_experiment_with(
         t.frames_rx = slots[idx].frames_delivered;
         t.frames_lost = slots[idx].frames_lost;
         t.peak_queue_depth = slots[idx].peak_queue_depth;
+        t.payload_acquires = slots[idx].payload_acquires;
+        t.payload_slab_allocs = slots[idx].payload_slab_allocs;
+        t.payload_peak_live = slots[idx].payload_peak_live;
         t.churn_deaths = slots[idx].churn_deaths;
         t.invariant_violations = slots[idx].invariant_violations;
         t.overlay_disrupted_s = slots[idx].overlay_disrupted_s;

@@ -382,6 +382,11 @@ RunResult SimulationRun::collect() {
   result.events_processed = sim_.events_processed();
   result.peak_queue_depth = sim_.peak_events_pending();
 
+  const net::PayloadPools::Stats pool_stats = network_->pools().stats();
+  result.payload_acquires = pool_stats.acquires;
+  result.payload_slab_allocs = pool_stats.slab_allocs;
+  result.payload_peak_live = pool_stats.peak_live;
+
   if (injector_) {
     const fault::FaultStats& fstats = injector_->stats();
     result.churn_deaths = fstats.crashes;

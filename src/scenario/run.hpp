@@ -79,6 +79,14 @@ struct RunResult {
   std::uint64_t data_delivered = 0;
   std::uint64_t data_dropped = 0;
 
+  // Payload-pool accounting (net::PayloadPools::stats()): acquisitions
+  // served, slab growths (allocations NOT avoided), and the high-water
+  // mark of live payloads. Fixed-seed deterministic and thread-count
+  // invariant — pools are per-run, never shared across runs or threads.
+  std::uint64_t payload_acquires = 0;
+  std::uint64_t payload_slab_allocs = 0;
+  std::size_t payload_peak_live = 0;
+
   // Churn/fault accounting (all 0 when fault injection is disabled).
   std::uint64_t churn_deaths = 0;
   std::uint64_t churn_recoveries = 0;

@@ -46,6 +46,11 @@ std::string RunTelemetry::to_jsonl() const {
        << ",\"frames_tx\":" << s.frames_tx << ",\"frames_rx\":" << s.frames_rx
        << ",\"frames_lost\":" << s.frames_lost
        << ",\"peak_queue_depth\":" << s.peak_queue_depth;
+    if (s.payload_acquires != 0) {
+      os << ",\"payload_acquires\":" << s.payload_acquires
+         << ",\"payload_slab_allocs\":" << s.payload_slab_allocs
+         << ",\"payload_peak_live\":" << s.payload_peak_live;
+    }
     if (s.churn_deaths != 0 || s.invariant_violations != 0 ||
         s.overlay_disrupted_s != 0.0) {
       os << ",\"churn_deaths\":" << s.churn_deaths

@@ -25,6 +25,12 @@ struct SeedTelemetry {
   std::uint64_t frames_rx = 0;
   std::uint64_t frames_lost = 0;
   std::size_t peak_queue_depth = 0;  // event-queue high-water mark
+  // Payload-pool accounting (zero only when the run sent no overlay
+  // messages; emitted to the manifest only when non-zero so pre-pool
+  // manifests stay byte-stable). Thread-count invariant.
+  std::uint64_t payload_acquires = 0;
+  std::uint64_t payload_slab_allocs = 0;
+  std::size_t payload_peak_live = 0;
   // Fault telemetry (all zero on fault-free runs; emitted to the manifest
   // only when any is non-zero, keeping fault-free manifests byte-stable).
   std::uint64_t churn_deaths = 0;

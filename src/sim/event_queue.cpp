@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/assert.hpp"
@@ -70,7 +71,7 @@ EventQueue::Popped EventQueue::pop() {
 void EventQueue::sift_up(std::size_t i) noexcept {
   const Entry e = heap_[i];
   while (i > 0) {
-    const std::size_t parent = (i - 1) / 2;
+    const std::size_t parent = (i - 1) / kArity;
     if (!later(heap_[parent], e)) break;
     heap_[i] = heap_[parent];
     i = parent;
@@ -82,12 +83,16 @@ void EventQueue::sift_down(std::size_t i) noexcept {
   const std::size_t n = heap_.size();
   const Entry e = heap_[i];
   for (;;) {
-    std::size_t child = 2 * i + 1;
-    if (child >= n) break;
-    if (child + 1 < n && later(heap_[child], heap_[child + 1])) ++child;
-    if (!later(e, heap_[child])) break;
-    heap_[i] = heap_[child];
-    i = child;
+    const std::size_t first = kArity * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + kArity, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (later(heap_[best], heap_[c])) best = c;
+    }
+    if (!later(e, heap_[best])) break;
+    heap_[i] = heap_[best];
+    i = best;
   }
   heap_[i] = e;
 }

@@ -178,6 +178,31 @@ TEST(Determinism, TelemetryRecordsEverySeed) {
             5U);  // header + 4 seeds
 }
 
+// Payload-pool counters are part of the fixed-seed contract: pools are
+// per-run, so running the same seeds on 1 worker or 3 must produce the
+// same acquisitions / slab growths / peak-live per seed.
+TEST(Determinism, PayloadPoolStatsAreThreadCountInvariant) {
+  const Parameters params = tiny_scenario(13);
+  scenario::RunTelemetry serial;
+  scenario::run_experiment(params, 3, 1, {}, &serial);
+  scenario::RunTelemetry threaded;
+  scenario::run_experiment(params, 3, 3, {}, &threaded);
+  ASSERT_EQ(serial.per_seed().size(), 3U);
+  ASSERT_EQ(threaded.per_seed().size(), 3U);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto& a = serial.per_seed()[i];
+    const auto& b = threaded.per_seed()[i];
+    EXPECT_GT(a.payload_acquires, 0U);
+    EXPECT_GT(a.payload_peak_live, 0U);
+    EXPECT_EQ(a.payload_acquires, b.payload_acquires);
+    EXPECT_EQ(a.payload_slab_allocs, b.payload_slab_allocs);
+    EXPECT_EQ(a.payload_peak_live, b.payload_peak_live);
+  }
+  // And they reach the manifest.
+  const std::string jsonl = serial.to_jsonl();
+  EXPECT_NE(jsonl.find("\"payload_acquires\":"), std::string::npos);
+}
+
 class CacheDirTest : public ::testing::Test {
  protected:
   void SetUp() override {

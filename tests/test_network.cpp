@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "graph/graph.hpp"
 #include "mobility/model.hpp"
 #include "mobility/trace.hpp"
 #include "net/mac.hpp"
@@ -77,7 +78,7 @@ TEST(Network, BroadcastReachesOnlyInRangeNodes) {
   const NodeId b = f.add(5, 0);
   const NodeId c = f.add(9, 0);
   const NodeId d = f.add(15, 0);
-  f.net->broadcast(a, std::make_shared<const TestPayload>(1), 64);
+  f.net->broadcast(a, net::make_payload<const TestPayload>(1), 64);
   f.sim.run();
   EXPECT_EQ(f.received(a), 0U);  // no self-delivery
   EXPECT_EQ(f.received(b), 1U);
@@ -91,7 +92,7 @@ TEST(Network, BroadcastFrameCarriesSenderAndPayload) {
   Fixture f;
   const NodeId a = f.add(0, 0);
   const NodeId b = f.add(5, 0);
-  f.net->broadcast(a, std::make_shared<const TestPayload>(42), 64);
+  f.net->broadcast(a, net::make_payload<const TestPayload>(42), 64);
   f.sim.run();
   ASSERT_EQ(f.received(b), 1U);
   const Frame& frame = f.recorders[b]->frames[0];
@@ -108,7 +109,7 @@ TEST(Network, UnicastReachesOnlyTheAddressee) {
   const NodeId a = f.add(0, 0);
   const NodeId b = f.add(5, 0);
   const NodeId c = f.add(5, 1);
-  f.net->unicast(a, b, std::make_shared<const TestPayload>(1), 32);
+  f.net->unicast(a, b, net::make_payload<const TestPayload>(1), 32);
   f.sim.run();
   EXPECT_EQ(f.received(b), 1U);
   EXPECT_EQ(f.received(c), 0U);
@@ -119,7 +120,7 @@ TEST(Network, UnicastOutOfRangeIsSilentlyLost) {
   Fixture f;
   const NodeId a = f.add(0, 0);
   const NodeId b = f.add(50, 0);
-  f.net->unicast(a, b, std::make_shared<const TestPayload>(1), 32);
+  f.net->unicast(a, b, net::make_payload<const TestPayload>(1), 32);
   f.sim.run();
   EXPECT_EQ(f.received(b), 0U);
   EXPECT_EQ(f.net->frames_lost(), 1U);
@@ -131,7 +132,7 @@ TEST(Network, DeliveryIsDelayedNotImmediate) {
   Fixture f;
   const NodeId a = f.add(0, 0);
   const NodeId b = f.add(5, 0);
-  f.net->broadcast(a, std::make_shared<const TestPayload>(1), 64);
+  f.net->broadcast(a, net::make_payload<const TestPayload>(1), 64);
   EXPECT_EQ(f.received(b), 0U);  // nothing until events run
   f.sim.run();
   EXPECT_EQ(f.received(b), 1U);
@@ -143,8 +144,8 @@ TEST(Network, HalfDuplexSerializesTransmissions) {
   const NodeId a = f.add(0, 0);
   f.add(5, 0);
   // Two back-to-back broadcasts: second arrival strictly after first.
-  f.net->broadcast(a, std::make_shared<const TestPayload>(1), 1500);
-  f.net->broadcast(a, std::make_shared<const TestPayload>(2), 1500);
+  f.net->broadcast(a, net::make_payload<const TestPayload>(1), 1500);
+  f.net->broadcast(a, net::make_payload<const TestPayload>(2), 1500);
   std::vector<double> arrivals;
   // Run and capture arrival times via the simulator clock at delivery.
   f.sim.run();
@@ -165,8 +166,8 @@ TEST(Network, LossProbabilityOneDropsEverything) {
       network.add_node(std::make_unique<mobility::StaticModel>(geo::Vec2{5, 0}));
   Recorder recorder;
   network.attach_listener(b, &recorder);
-  network.broadcast(a, std::make_shared<const TestPayload>(1), 64);
-  network.unicast(a, b, std::make_shared<const TestPayload>(2), 64);
+  network.broadcast(a, net::make_payload<const TestPayload>(1), 64);
+  network.unicast(a, b, net::make_payload<const TestPayload>(2), 64);
   sim.run();
   EXPECT_TRUE(recorder.frames.empty());
   EXPECT_EQ(network.frames_lost(), 2U);
@@ -178,16 +179,16 @@ TEST(Network, FailedNodeNeitherSendsNorReceives) {
   const NodeId b = f.add(5, 0);
   f.net->set_failed(b, true);
   EXPECT_FALSE(f.net->alive(b));
-  f.net->broadcast(a, std::make_shared<const TestPayload>(1), 64);
+  f.net->broadcast(a, net::make_payload<const TestPayload>(1), 64);
   f.sim.run();
   EXPECT_EQ(f.received(b), 0U);
 
-  f.net->broadcast(b, std::make_shared<const TestPayload>(2), 64);
+  f.net->broadcast(b, net::make_payload<const TestPayload>(2), 64);
   f.sim.run();
   EXPECT_EQ(f.received(a), 0U);
 
   f.net->set_failed(b, false);
-  f.net->broadcast(a, std::make_shared<const TestPayload>(3), 64);
+  f.net->broadcast(a, net::make_payload<const TestPayload>(3), 64);
   f.sim.run();
   EXPECT_EQ(f.received(b), 1U);
 }
@@ -196,7 +197,7 @@ TEST(Network, EnergyChargedForTxAndRx) {
   Fixture f;
   const NodeId a = f.add(0, 0);
   const NodeId b = f.add(5, 0);
-  f.net->broadcast(a, std::make_shared<const TestPayload>(1), 100);
+  f.net->broadcast(a, net::make_payload<const TestPayload>(1), 100);
   f.sim.run();
   EXPECT_GT(f.net->energy(a).consumed_j(), 0.0);
   EXPECT_GT(f.net->energy(b).consumed_j(), 0.0);
@@ -243,7 +244,7 @@ TEST(Network, MultipleListenersAllReceive) {
   const NodeId b = f.add(5, 0);
   Recorder extra;
   f.net->attach_listener(b, &extra);
-  f.net->broadcast(a, std::make_shared<const TestPayload>(1), 64);
+  f.net->broadcast(a, net::make_payload<const TestPayload>(1), 64);
   f.sim.run();
   EXPECT_EQ(f.received(b), 1U);
   EXPECT_EQ(extra.frames.size(), 1U);
@@ -278,7 +279,7 @@ TEST(Network, GrayZoneDropsSomeEdgeFramesButNotInnerOnes) {
   network.attach_listener(edge, &edge_rec);
   const int kFrames = 200;
   for (int i = 0; i < kFrames; ++i) {
-    network.broadcast(a, std::make_shared<const TestPayload>(i), 32);
+    network.broadcast(a, net::make_payload<const TestPayload>(i), 32);
   }
   sim.run();
   // Inside the solid zone: everything arrives. On the edge (p = 0.25):
@@ -345,7 +346,7 @@ TEST(Network, BatchedBroadcastMatchesPerReceiverDeliveryOrder) {
   const std::uint64_t before = f.sim.events_scheduled();
   const int kFrames = 3;
   for (int i = 0; i < kFrames; ++i) {
-    f.net->broadcast(a, std::make_shared<const TestPayload>(i), 64);
+    f.net->broadcast(a, net::make_payload<const TestPayload>(i), 64);
   }
   // One arrival event per transmission, regardless of receiver count.
   EXPECT_EQ(f.sim.events_scheduled() - before,
@@ -416,7 +417,7 @@ TEST(Network, BatchedBroadcastMatchesPerReceiverChannelDraws) {
   }
 
   for (int i = 0; i < kFrames; ++i) {
-    network.broadcast(sender, std::make_shared<const TestPayload>(i), 64);
+    network.broadcast(sender, net::make_payload<const TestPayload>(i), 64);
   }
   sim.run();
 
@@ -446,6 +447,75 @@ TEST(Network, AdjacencySnapshotBufferReuseMatchesFresh) {
   for (const auto& row : buffer) {
     EXPECT_TRUE(std::find(row.begin(), row.end(), b) == row.end());
   }
+}
+
+// Regression: per-query-hit topology must be SHARED, network-level state.
+// Before the shared memo each servent kept a private O(n^2) snapshot and
+// rebuilt it per hit; if that ever comes back, the build counter here
+// starts climbing with the number of borrows instead of the number of
+// (instant, liveness-epoch) pairs.
+TEST(Network, SharedAdjacencyMemoizesPerInstantAndLivenessEpoch) {
+  Fixture f;
+  const NodeId a = f.add(0, 0);
+  f.add(6, 0);
+  f.add(12, 0);
+
+  const std::uint64_t builds0 = f.net->adjacency_builds();
+  const auto* first = &f.net->shared_adjacency();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(&f.net->shared_adjacency(), first);  // same resident storage
+  }
+  EXPECT_EQ(f.net->adjacency_builds(), builds0 + 1);
+
+  // Advancing simulated time invalidates the memo once...
+  f.sim.after(1.0, [] {});
+  f.sim.run();
+  f.net->shared_adjacency();
+  f.net->shared_adjacency();
+  EXPECT_EQ(f.net->adjacency_builds(), builds0 + 2);
+
+  // ...and so does a liveness flip at the same instant.
+  f.net->set_failed(a, true);
+  const auto& after_kill = f.net->shared_adjacency();
+  EXPECT_EQ(f.net->adjacency_builds(), builds0 + 3);
+  EXPECT_TRUE(after_kill[a].empty());
+}
+
+// physical_hop_distance takes a grid-BFS shortcut when the shared memo is
+// stale; the answer must equal a BFS over the full snapshot in every case
+// (chain, unreachable island, dead endpoint, self), and the shortcut must
+// not trigger a shared-snapshot build.
+TEST(Network, PhysicalHopDistanceGridPathMatchesSnapshotBfs) {
+  Fixture f;
+  std::vector<NodeId> chain;
+  for (int i = 0; i < 5; ++i) chain.push_back(f.add(6.0 * i, 0.0));
+  const NodeId island = f.add(100.0, 100.0);
+  const NodeId dead = f.add(3.0, 5.0);
+  f.net->set_failed(dead, true);
+
+  const auto adj = f.net->adjacency_snapshot();
+  const std::uint64_t builds0 = f.net->adjacency_builds();
+  for (NodeId src = 0; src < 7; ++src) {
+    for (NodeId dst = 0; dst < 7; ++dst) {
+      EXPECT_EQ(f.net->physical_hop_distance(src, dst),
+                graph::bfs_distance(adj, src, dst))
+          << "src=" << src << " dst=" << dst;
+    }
+  }
+  EXPECT_EQ(f.net->physical_hop_distance(chain[0], chain[4]), 4);
+  EXPECT_EQ(f.net->physical_hop_distance(chain[0], island),
+            graph::kUnreachable);
+  EXPECT_EQ(f.net->physical_hop_distance(chain[0], dead),
+            graph::kUnreachable);
+  // The grid path materialized no shared snapshot.
+  EXPECT_EQ(f.net->adjacency_builds(), builds0);
+
+  // With the memo fresh, the snapshot fast path answers identically.
+  f.net->shared_adjacency();
+  EXPECT_EQ(f.net->physical_hop_distance(chain[0], chain[4]), 4);
+  EXPECT_EQ(f.net->physical_hop_distance(chain[1], island),
+            graph::kUnreachable);
+  EXPECT_EQ(f.net->adjacency_builds(), builds0 + 1);
 }
 
 }  // namespace

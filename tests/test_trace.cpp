@@ -104,9 +104,9 @@ TEST(Trace, NetworkObserverSeesTransmitsDeliveriesAndDrops) {
   trace::NetworkAdapter adapter(counter);
   network.set_observer(&adapter);
 
-  network.broadcast(a, std::make_shared<const NoopPayload>(), 64);
-  network.unicast(a, b, std::make_shared<const NoopPayload>(), 32);
-  network.unicast(a, far, std::make_shared<const NoopPayload>(), 32);  // drop
+  network.broadcast(a, net::make_payload<const NoopPayload>(), 64);
+  network.unicast(a, b, net::make_payload<const NoopPayload>(), 32);
+  network.unicast(a, far, net::make_payload<const NoopPayload>(), 32);  // drop
   sim.run();
 
   EXPECT_EQ(counter.count(EventKind::kTransmit), 3U);
@@ -117,7 +117,7 @@ TEST(Trace, NetworkObserverSeesTransmitsDeliveriesAndDrops) {
 
   // Detaching stops recording.
   network.set_observer(nullptr);
-  network.broadcast(a, std::make_shared<const NoopPayload>(), 64);
+  network.broadcast(a, net::make_payload<const NoopPayload>(), 64);
   sim.run();
   EXPECT_EQ(counter.count(EventKind::kTransmit), 3U);
 }
@@ -134,7 +134,7 @@ TEST(Trace, ObserverMatchesNetworkCounters) {
   trace::NetworkAdapter adapter(counter);
   network.set_observer(&adapter);
   for (net::NodeId n = 0; n < 6; ++n) {
-    network.broadcast(n, std::make_shared<const NoopPayload>(), 48);
+    network.broadcast(n, net::make_payload<const NoopPayload>(), 48);
   }
   sim.run();
   EXPECT_EQ(counter.count(EventKind::kTransmit), network.frames_transmitted());

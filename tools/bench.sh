@@ -2,23 +2,26 @@
 # Record a perf snapshot, or compare two recorded labels.
 #
 # Record mode: build the bench preset, run the harness suites (hotpath's
-# kernel + wireless storms, plus the aodv_storm route-discovery storm), and
-# append one JSON record per benchmark to BENCH_kernel.json and
-# BENCH_hotpath.json at the repo root (JSON Lines; see docs/performance.md).
+# kernel + wireless storms, the aodv_storm route-discovery storm, and the
+# overlay_storm full-stack tier), and append one JSON record per benchmark
+# to BENCH_kernel.json, BENCH_hotpath.json and BENCH_overlay.json at the
+# repo root (JSON Lines; see docs/performance.md).
 #
 # Compare mode: read those JSONL files back and print per-bench throughput
 # deltas between two labels, failing when anything regressed — so a perf
 # regression is caught when the records land, not by a later PR's
-# archaeology.
+# archaeology. Benches recorded under only one of the two labels (e.g. a
+# freshly added tier with no older record) are reported as
+# "(only in <label>)" instead of being silently skipped.
 #
 # Usage:
 #   tools/bench.sh [label]
 #       label  tag stored in each record (default: current git short hash)
 #   tools/bench.sh --compare <label-a> <label-b> [--threshold PCT]
-#       Compare ops_per_sec/frames_per_sec of label-b against label-a for
-#       every bench that has records under both labels (the most recent
-#       record per label wins). Exit 1 if any bench is more than PCT
-#       slower in label-b (default 5).
+#       Compare the headline throughput (ops/frames/queries _per_sec) of
+#       label-b against label-a for every bench that has records under both
+#       labels (the most recent record per label wins). Exit 1 if any bench
+#       is more than PCT slower in label-b (default 5).
 set -eu
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -40,6 +43,17 @@ if [ "${1:-}" = "--compare" ]; then
     fi
     threshold="$2"
   fi
+  # Only feed awk the record files that exist (BENCH_overlay.json appears
+  # the first time the overlay tier is recorded).
+  set --
+  for f in "$repo/BENCH_kernel.json" "$repo/BENCH_hotpath.json" \
+           "$repo/BENCH_overlay.json"; do
+    [ -f "$f" ] && set -- "$@" "$f"
+  done
+  if [ $# -eq 0 ]; then
+    echo "no BENCH_*.json records found in $repo" >&2
+    exit 2
+  fi
   awk -v A="$label_a" -v B="$label_b" -v THR="$threshold" '
     {
       bench = ""; label = ""; rate = ""
@@ -50,8 +64,10 @@ if [ "${1:-}" = "--compare" ]; then
         label = substr($0, RSTART + 9, RLENGTH - 10)
       }
       # Headline throughput: the suite-specific <unit>_per_sec field
-      # (kernel: ops_per_sec, wireless storms: frames_per_sec).
-      if (match($0, /"(ops|frames)_per_sec":[0-9.]+/)) {
+      # (kernel: ops_per_sec, wireless storms: frames_per_sec, overlay
+      # storms: queries_per_sec). Secondary rates (msgs_per_sec) are
+      # deliberately not headline material.
+      if (match($0, /"(ops|frames|queries)_per_sec":[0-9.]+/)) {
         pair = substr($0, RSTART, RLENGTH)
         sub(/^"[a-z]+_per_sec":/, "", pair)
         rate = pair + 0
@@ -76,9 +92,13 @@ if [ "${1:-}" = "--compare" ]; then
       for (i = 1; i <= n; ++i) {
         bench = order[i]
         if (!(bench in a) || !(bench in b)) {
-          printf "%-34s %14s %14s %9s\n", bench,
+          # One-sided record: a bench only present under one label (new
+          # tier, renamed bench, retired workload). Say so explicitly —
+          # a silent skip would hide a bench that stopped being recorded.
+          printf "%-34s %14s %14s  (only in %s)\n", bench,
                  (bench in a) ? sprintf("%.0f", a[bench]) : "-",
-                 (bench in b) ? sprintf("%.0f", b[bench]) : "-", "n/a"
+                 (bench in b) ? sprintf("%.0f", b[bench]) : "-",
+                 (bench in a) ? A : B
           continue
         }
         delta = (b[bench] - a[bench]) / a[bench] * 100.0
@@ -97,14 +117,15 @@ if [ "${1:-}" = "--compare" ]; then
         exit 1
       }
     }
-  ' "$repo/BENCH_kernel.json" "$repo/BENCH_hotpath.json"
+  ' "$@"
   exit $?
 fi
 
 label="${1:-$(git -C "$repo" rev-parse --short HEAD 2>/dev/null || echo dev)}"
 
 cmake --preset bench -S "$repo" >/dev/null
-cmake --build --preset bench -j --target hotpath --target aodv_storm >/dev/null
+cmake --build --preset bench -j --target hotpath --target aodv_storm \
+  --target overlay_storm >/dev/null
 
 "$repo/build-bench/bench/hotpath" --suite kernel --label "$label" \
   --out "$repo/BENCH_kernel.json"
@@ -112,4 +133,6 @@ cmake --build --preset bench -j --target hotpath --target aodv_storm >/dev/null
   --out "$repo/BENCH_hotpath.json"
 "$repo/build-bench/bench/aodv_storm" --label "$label" \
   --out "$repo/BENCH_hotpath.json"
-echo "appended records labeled '$label' to BENCH_kernel.json / BENCH_hotpath.json"
+"$repo/build-bench/bench/overlay_storm" --label "$label" \
+  --out "$repo/BENCH_overlay.json"
+echo "appended records labeled '$label' to BENCH_kernel.json / BENCH_hotpath.json / BENCH_overlay.json"
