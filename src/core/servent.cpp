@@ -80,7 +80,9 @@ Servent::Servent(const ServentContext& ctx, const P2pParams& params,
 Servent::~Servent() {
   // Cancel everything we scheduled; the Simulator may outlive us.
   disarm(query_event_);
-  for (const NodeId peer : pending_peers_) disarm(pending_req_[peer].timeout);
+  for (const NodeId peer : pending_peers_) {
+    disarm(pending_req_.find(peer)->timeout);
+  }
   for (const NodeId peer : conns_.peers()) {
     Connection* conn = conns_.find(peer);
     disarm(conn->ping_event);
@@ -110,10 +112,10 @@ void Servent::crash() {
     conns_.remove(peer);
   }
   for (const NodeId peer : pending_peers_) {
-    disarm(pending_req_[peer].timeout);
-    pending_req_[peer].active = false;
+    disarm(pending_req_.find(peer)->timeout);
   }
   pending_peers_.clear();
+  pending_req_.clear();
   disarm(query_event_);
   has_pending_query_ = false;
   // A reborn node must not suppress queries it saw in a previous life;
@@ -223,18 +225,18 @@ void Servent::on_flood_receive(NodeId origin, net::AppPayloadPtr app,
 // ---------------------------------------------------------------- handshake
 
 Servent::PendingRequest* Servent::pending_slot(NodeId peer) noexcept {
-  if (static_cast<std::size_t>(peer) >= pending_req_.size()) return nullptr;
-  PendingRequest& slot = pending_req_[peer];
-  return slot.active ? &slot : nullptr;
+  return pending_req_.find(peer);
 }
 
 void Servent::erase_pending(NodeId peer) noexcept {
-  PendingRequest& slot = pending_req_[peer];
-  slot.active = false;
+  PendingRequest* slot = pending_req_.find(peer);
   const NodeId moved = pending_peers_.back();
-  pending_peers_[slot.order_index] = moved;
-  pending_req_[moved].order_index = slot.order_index;
+  pending_peers_[slot->order_index] = moved;
+  if (moved != peer) {
+    pending_req_.find(moved)->order_index = slot->order_index;
+  }
   pending_peers_.pop_back();
+  pending_req_.erase(peer);
 }
 
 void Servent::request_connection(NodeId peer, std::uint64_t probe_id,
@@ -247,13 +249,9 @@ void Servent::request_connection(NodeId peer, std::uint64_t probe_id,
   req.edit()->want = want;
   send_msg(peer, std::move(req));
 
-  if (static_cast<std::size_t>(peer) >= pending_req_.size()) {
-    pending_req_.resize(peer + 1);
-  }
-  PendingRequest& slot = pending_req_[peer];
+  PendingRequest& slot = pending_req_.get_or_insert(peer);
   slot.kind = kind;
   slot.order_index = static_cast<std::uint32_t>(pending_peers_.size());
-  slot.active = true;
   pending_peers_.push_back(peer);
   arm(slot.timeout, params_.handshake_timeout, [this, peer] {
     PendingRequest* pending = pending_slot(peer);
@@ -265,10 +263,20 @@ void Servent::request_connection(NodeId peer, std::uint64_t probe_id,
   });
 }
 
+std::size_t Servent::memory_bytes() const noexcept {
+  // std::map node: two child pointers, parent, color + the key/value pair.
+  constexpr std::size_t kMapNodeOverhead = 4 * sizeof(void*);
+  return pending_req_.memory_bytes() +
+         pending_peers_.capacity() * sizeof(NodeId) +
+         seen_queries_.memory_bytes() +
+         conns_.size() * (kMapNodeOverhead + sizeof(net::NodeId) +
+                          sizeof(void*) + sizeof(Connection));
+}
+
 std::size_t Servent::pending_requests(ConnKind kind) const {
   std::size_t n = 0;
   for (const NodeId peer : pending_peers_) {
-    if (pending_req_[peer].kind == kind) ++n;
+    if (pending_req_.find(peer)->kind == kind) ++n;
   }
   return n;
 }

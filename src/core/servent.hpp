@@ -23,6 +23,7 @@
 #include "routing/service.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
+#include "util/flat_map.hpp"
 
 namespace p2p::core {
 
@@ -102,6 +103,12 @@ class Servent {
     return connections_closed_;
   }
 
+  /// Approximate bytes of base-servent volatile state: the handshake
+  /// table, live connections, and the query duplicate cache. All of it is
+  /// O(overlay degree + inflight handshakes) — first-touch allocated,
+  /// never O(population) — which is what the mega-scale telemetry checks.
+  std::size_t memory_bytes() const noexcept;
+
  protected:
   // ---- hooks for the concrete algorithms --------------------------------
   virtual void on_start() = 0;
@@ -142,8 +149,7 @@ class Servent {
                           ConnKind kind);
   std::size_t pending_requests(ConnKind kind) const;
   bool has_pending_request(NodeId peer) const {
-    return static_cast<std::size_t>(peer) < pending_req_.size() &&
-           pending_req_[peer].active;
+    return pending_req_.find(peer) != nullptr;
   }
 
   ConnectionTable& conns() noexcept { return conns_; }
@@ -158,13 +164,13 @@ class Servent {
   void disarm(sim::EventId& slot) noexcept;
 
  private:
-  /// One slot of the NodeId-indexed handshake table. Active slots are also
-  /// listed in pending_peers_ (swap-remove; order_index is the backlink).
+  /// One entry of the peer-keyed handshake table (presence == active).
+  /// Every entry is also listed in pending_peers_ (swap-remove;
+  /// order_index is the backlink).
   struct PendingRequest {
     ConnKind kind = ConnKind::kRegular;
     sim::EventId timeout = sim::kInvalidEventId;
     std::uint32_t order_index = 0;
-    bool active = false;
   };
   struct PendingQuery {
     FileId file = 0;
@@ -205,9 +211,11 @@ class Servent {
   MessageCounters counters_;
   ConnectionTable conns_;
 
-  // Dense handshake state: slots indexed by peer NodeId plus the list of
-  // active peers. Replaces a std::map — handshakes are hot under churn.
-  std::vector<PendingRequest> pending_req_;
+  // Handshake state keyed by peer id plus the list of active peers.
+  // O(inflight handshakes), not O(n): a servent can probe arbitrary
+  // member ids, so a peer-indexed vector would grow to the population
+  // size — disqualifying at mega-scale.
+  util::FlatMap<NodeId, PendingRequest, net::kInvalidNode> pending_req_;
   std::vector<NodeId> pending_peers_;
   std::uint64_t next_probe_id_ = 1;
 

@@ -63,6 +63,12 @@ class DupCache {
   /// non-null) on failure.
   bool validate(sim::SimTime now, std::string* why = nullptr) const;
 
+  /// Bytes resident in the cache's slot storage, staging buffer included
+  /// (megascale memory accounting).
+  std::size_t memory_bytes() const noexcept {
+    return (entries_.capacity() + scratch_.capacity()) * sizeof(Entry);
+  }
+
  private:
   struct Entry {
     std::uint64_t key = 0;

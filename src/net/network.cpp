@@ -1,5 +1,6 @@
 #include "net/network.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/assert.hpp"
@@ -52,32 +53,32 @@ void Network::set_failed(NodeId id, bool failed) {
   refresh_down(id);
 }
 
-void Network::remap_blackouts() {
-  const std::size_t n = nodes_.size();
-  std::vector<sim::SimTime> next(n * n, 0.0);
-  for (std::size_t lo = 0; lo < blackout_n_; ++lo) {
-    for (std::size_t hi = lo + 1; hi < blackout_n_; ++hi) {
-      next[lo * n + hi] = blackout_until_[lo * blackout_n_ + hi];
-    }
+void Network::purge_expired_blackouts() {
+  const sim::SimTime now = sim_->now();
+  blackout_scratch_.clear();
+  blackout_map_.for_each([&](std::uint64_t link, sim::SimTime end) {
+    if (end <= now) blackout_scratch_.push_back(link);
+  });
+  for (const std::uint64_t link : blackout_scratch_) {
+    blackout_map_.erase(link);
   }
-  blackout_until_ = std::move(next);
-  blackout_n_ = n;
+  blackout_purge_at_ = std::max<std::size_t>(64, blackout_map_.size() * 2);
 }
 
 void Network::set_link_blackout(NodeId a, NodeId b, sim::SimTime until) {
   P2P_ASSERT(a < nodes_.size() && b < nodes_.size() && a != b);
-  if (blackout_n_ != nodes_.size()) remap_blackouts();
-  sim::SimTime& end = blackout_until_[link_index(a, b)];
+  if (blackout_map_.size() >= blackout_purge_at_) purge_expired_blackouts();
+  sim::SimTime& end = blackout_map_.get_or_insert(link_key(a, b));
   if (until > end) end = until;
   if (until > blackout_horizon_) blackout_horizon_ = until;
   faults_active_ = true;
 }
 
 bool Network::link_blacked_out(NodeId a, NodeId b) const {
-  // Matrix is only allocated once a blackout has been set; nodes added
-  // afterwards sit outside it and can never have a recorded blackout.
-  if (a >= blackout_n_ || b >= blackout_n_) return false;
-  return blackout_until_[link_index(a, b)] > sim_->now();
+  // Ledger holds only links that were actually suppressed; absent means
+  // never blacked out.
+  const sim::SimTime* end = blackout_map_.find(link_key(a, b));
+  return end != nullptr && *end > sim_->now();
 }
 
 bool Network::link_usable(NodeId a, NodeId b) {
@@ -132,21 +133,36 @@ bool Network::in_range(NodeId a, NodeId b) {
   return geo::distance2(position_of(a), position_of(b)) <= r2;
 }
 
+geo::Vec2 Network::sample_position(void* ctx, NodeId id) {
+  return static_cast<Network*>(ctx)->position_of(id);
+}
+
 void Network::refresh_index() {
-  // NeighborIndex decides internally whether it is stale; we pay the O(n)
-  // position sampling only when it actually rebuilds, so probe first.
-  if (index_.is_fresh(sim_->now(), nodes_.size())) return;
+  const sim::SimTime now = sim_->now();
+  if (params_.incremental_index &&
+      nodes_.size() >= params_.incremental_index_min_nodes) {
+    // O(new + due): the index resamples only nodes whose cell-safe
+    // deadline expired; everyone else's bucket assignment is provably
+    // still what a full rebuild would compute.
+    index_.refresh_incremental(now, nodes_.size(), &Network::sample_position,
+                               this);
+    return;
+  }
+  // Full-rebuild mode: NeighborIndex decides internally whether it is
+  // stale; we pay the O(n) position sampling only when it actually
+  // rebuilds, so probe first.
+  if (index_.is_fresh(now, nodes_.size())) return;
   scratch_positions_.resize(nodes_.size());
   for (NodeId i = 0; i < nodes_.size(); ++i) {
     scratch_positions_[i] = position_of(i);  // warms the per-node cache too
   }
-  index_.refresh(sim_->now(), scratch_positions_);
+  index_.refresh(now, scratch_positions_);
 }
 
 void Network::receivers_of(NodeId sender, std::vector<NodeId>* out) {
   refresh_index();
   const geo::Vec2 sp = position_of(sender);  // sampled once, reused below
-  index_.candidates_near(sp, &scratch_candidates_);
+  index_.candidates_near(sp, sim_->now(), &scratch_candidates_);
   out->clear();
   const double r2 = params_.range * params_.range;
   for (const NodeId cand : scratch_candidates_) {
@@ -188,7 +204,8 @@ void Network::adjacency_snapshot(std::vector<std::vector<NodeId>>* out) {
   }
   for (NodeId i = 0; i < nodes_.size(); ++i) {
     if (!alive(i)) continue;
-    index_.candidates_near(scratch_positions_[i], &scratch_candidates_);
+    index_.candidates_near(scratch_positions_[i], sim_->now(),
+                           &scratch_candidates_);
     for (const NodeId j : scratch_candidates_) {
       if (j <= i || !alive(j)) continue;
       if (geo::distance2(scratch_positions_[i], scratch_positions_[j]) <= r2) {
@@ -246,7 +263,7 @@ int Network::physical_hop_distance(NodeId a, NodeId b) {
     const NodeId u = grid_queue_[head];
     const int du = grid_dist_[u];
     const geo::Vec2 up = position_of(u);
-    index_.candidates_near(up, &grid_cand_);
+    index_.candidates_near(up, sim_->now(), &grid_cand_);
     for (const NodeId v : grid_cand_) {
       if (grid_stamp_[v] == gen || v == u || !alive(v)) continue;
       if (geo::distance2(up, position_of(v)) > r2) continue;
@@ -325,7 +342,7 @@ void Network::broadcast(NodeId sender, FramePayloadPtr payload,
 
   refresh_index();
   const geo::Vec2 sender_pos = position_of(sender);
-  index_.candidates_near(sender_pos, &scratch_candidates_);
+  index_.candidates_near(sender_pos, sim_->now(), &scratch_candidates_);
   const double duration = tx_duration(params_.mac, bytes);
   const sim::SimTime start = schedule_tx(node, duration);  // jitter draw
   const sim::SimTime arrival = start + duration + params_.mac.propagation_s;
@@ -413,6 +430,34 @@ void Network::unicast(NodeId sender, NodeId neighbor, FramePayloadPtr payload,
   sim_->at(arrival, [this, neighbor, frame = std::move(frame)] {
     deliver(neighbor, frame);
   });
+}
+
+std::size_t Network::memory_bytes() const noexcept {
+  std::size_t bytes = nodes_.capacity() * sizeof(NodeState) +
+                      pos_cache_.capacity() * sizeof(PosCache) +
+                      down_.capacity() * sizeof(std::uint8_t) +
+                      index_.memory_bytes() +
+                      scratch_positions_.capacity() * sizeof(geo::Vec2) +
+                      scratch_candidates_.capacity() * sizeof(NodeId) +
+                      free_batches_.capacity() * sizeof(std::uint32_t) +
+                      grid_stamp_.capacity() * sizeof(std::uint64_t) +
+                      grid_dist_.capacity() * sizeof(int) +
+                      grid_queue_.capacity() * sizeof(NodeId) +
+                      grid_cand_.capacity() * sizeof(NodeId) +
+                      blackout_map_.memory_bytes() +
+                      blackout_scratch_.capacity() * sizeof(std::uint64_t);
+  bytes += batch_pool_.capacity() * sizeof(batch_pool_[0]);
+  for (const auto& batch : batch_pool_) {
+    bytes += batch.capacity() * sizeof(NodeId);
+  }
+  bytes += shared_adj_.capacity() * sizeof(shared_adj_[0]);
+  for (const auto& row : shared_adj_) {
+    bytes += row.capacity() * sizeof(NodeId);
+  }
+  for (const auto& node : nodes_) {
+    bytes += node.listeners.capacity() * sizeof(LinkListener*);
+  }
+  return bytes;
 }
 
 }  // namespace p2p::net

@@ -25,6 +25,7 @@
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "util/assert.hpp"
+#include "util/flat_map.hpp"
 
 namespace p2p::net {
 
@@ -34,6 +35,19 @@ struct NetworkParams {
   MacParams mac;
   double index_tolerance_s = 0.25; // spatial-index staleness bound
   double max_speed_hint = 1.0;     // upper bound on any node's speed (m/s)
+  // Incremental spatial-index maintenance: resample only the nodes whose
+  // cell-safe deadline expired instead of rebuilding the whole index every
+  // tolerance window. Bit-identical results either way (candidate sets are
+  // exact-filtered downstream). Below the population threshold the full
+  // counting-sort rebuild from cached positions is measurably cheaper
+  // than deadline-heap bookkeeping (sampling a few hundred positions per
+  // window costs less than the heap churn that avoids it), so incremental
+  // maintenance engages only once the population makes per-window
+  // whole-fleet resampling the bigger bill. Set the threshold to 0 to
+  // force incremental at any size (the determinism suite does, to prove
+  // the two modes equivalent at small n).
+  bool incremental_index = true;
+  std::size_t incremental_index_min_nodes = 8192;
 };
 
 class Network {
@@ -167,6 +181,12 @@ class Network {
   std::uint64_t frames_delivered() const noexcept { return frames_rx_; }
   std::uint64_t frames_lost() const noexcept { return frames_lost_; }
 
+  /// Approximate bytes held by the network layer: dense per-node arrays,
+  /// the spatial index, adjacency/BFS scratch, broadcast batch pools, and
+  /// the blackout ledger. Everything here is O(n) or O(active faults) —
+  /// the mega-scale telemetry sums it per run to pin that down.
+  std::size_t memory_bytes() const noexcept;
+
  private:
   // Cold per-node state: touched on add/attach, at transmit time (energy,
   // tx serialization), and at delivery fan-out. The fields the candidate
@@ -186,8 +206,13 @@ class Network {
     sim::SimTime time = -1.0;  // SimTime is never negative
   };
 
-  /// Refresh the spatial index (and the position scratch buffer).
+  /// Refresh the spatial index. Incremental mode drains the index's
+  /// deadline heap (O(boundary-crossers)); full-rebuild mode resamples the
+  /// whole population into the position scratch buffer.
   void refresh_index();
+  /// PositionSampler trampoline for NeighborIndex::refresh_incremental
+  /// (ctx is the Network; warms the per-node position memo as it samples).
+  static geo::Vec2 sample_position(void* ctx, NodeId id);
   /// Exact in-range receiver set for a transmission from `sender`.
   void receivers_of(NodeId sender, std::vector<NodeId>* out);
   void deliver(NodeId receiver, const Frame& frame);
@@ -258,25 +283,29 @@ class Network {
   /// Identical RNG draw order to channel_lost() when burst_loss_ == 0.
   bool channel_lost_faulted(const geo::Vec2& from, const geo::Vec2& to);
 
-  /// Flat index of the unordered link {a,b} in blackout_until_ (row-major
-  /// over the normalized lo < hi pair).
-  std::size_t link_index(NodeId a, NodeId b) const noexcept {
+  /// Key of the unordered link {a,b} in the blackout ledger (lo in the
+  /// high word so keys are unique per pair).
+  static std::uint64_t link_key(NodeId a, NodeId b) noexcept {
     const NodeId lo = a < b ? a : b;
     const NodeId hi = a < b ? b : a;
-    return static_cast<std::size_t>(lo) * blackout_n_ + hi;
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
   }
-  /// (Re)allocate blackout_until_ for the current node count, carrying
-  /// existing end times across.
-  void remap_blackouts();
+  /// Drop ledger entries whose end time has passed; re-arms the purge
+  /// threshold at twice the surviving count.
+  void purge_expired_blackouts();
 
-  // Dense link-state matrix: end-of-blackout time per unordered node pair,
-  // 0.0 (i.e. "ended before the simulation began") when never blacked out.
-  // Lazily allocated on the first set_link_blackout — fault-free runs pay
-  // neither the O(n^2) memory nor any lookup (faults_active() gates every
-  // consultation) — and epoch-stamped: expired entries need no eviction,
-  // the end-time comparison against now() is the whole query.
-  std::vector<sim::SimTime> blackout_until_;
-  std::size_t blackout_n_ = 0;  // node count the matrix was sized for
+  // Blackout ledger: end-of-blackout time per unordered node pair, keyed
+  // by link_key; an absent entry means "never blacked out" (find returns
+  // nullptr, equivalent to the old 0.0 sentinel). O(links actually
+  // suppressed) — never O(n^2) — so mega-scale runs with localized faults
+  // stay cheap. Fault-free runs pay neither memory nor lookups
+  // (faults_active() gates every consultation). Expired entries need no
+  // eager eviction (the end-time comparison against now() is the whole
+  // query); they are swept opportunistically when the ledger next grows
+  // past the purge threshold, which bounds residency at O(peak active).
+  util::FlatMap<std::uint64_t, sim::SimTime, ~0ULL> blackout_map_;
+  std::vector<std::uint64_t> blackout_scratch_;  // purge staging
+  std::size_t blackout_purge_at_ = 64;
   double burst_loss_ = 0.0;
   // Latest end time over every blackout ever set (monotone); with the
   // burst off, faults_active() compares it against now() to decide when

@@ -41,6 +41,11 @@ struct AodvParams {
   std::uint8_t ttl_threshold = 7;
   std::size_t send_queue_limit = 64;         // packets buffered per discovery
   sim::SimTime rreq_id_cache_ttl = 6.0;      // PATH_DISCOVERY_TIME
+  // Population of the run, if the caller knows it (scenario drivers do).
+  // Selects the routing-table backend: dense dst-indexed slots at paper
+  // scale, O(routes learned) hashing above RoutingTable::kDenseUniverseMax
+  // or when left 0. Behavior is backend-identical; only speed/memory move.
+  std::size_t population_hint = 0;
 
   sim::SimTime net_traversal_time() const noexcept {
     return 2.0 * node_traversal_time * static_cast<double>(net_diameter);
@@ -107,6 +112,15 @@ class AodvAgent final : public net::LinkListener, public RoutingService {
   /// next_bcast_id_ survive — a reborn node must not reuse (origin, id)
   /// pairs its neighbors may still remember.
   void reset() override;
+
+  /// Routing table + RREQ duplicate-cache slot storage plus the pending
+  /// discovery map (queued payload bodies excluded — those are accounted
+  /// by the payload pools).
+  std::size_t memory_bytes() const override {
+    return table_.memory_bytes() + rreq_seen_.memory_bytes() +
+           pending_.size() *
+               (sizeof(NodeId) + sizeof(PendingDiscovery) + 2 * sizeof(void*));
+  }
 
   const AodvStats& stats() const noexcept { return stats_; }
   NodeId self() const noexcept { return self_; }

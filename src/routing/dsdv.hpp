@@ -92,6 +92,13 @@ class DsdvAgent final : public net::LinkListener, public RoutingService {
   NodeId self() const noexcept { return self_; }
   std::size_t table_size() const noexcept { return table_.size(); }
 
+  /// Approximate table footprint. DSDV is proactive — every node carries a
+  /// row per reachable destination by design, so this is inherently O(n)
+  /// per node (the mega-scale benches use on-demand protocols for a reason).
+  std::size_t memory_bytes() const override {
+    return table_.size() * (sizeof(NodeId) + sizeof(Row) + 2 * sizeof(void*));
+  }
+
  private:
   struct Row {
     NodeId next_hop = net::kInvalidNode;

@@ -306,4 +306,16 @@ void DsrAgent::on_frame(const net::Frame& frame) {
   }
 }
 
+std::size_t DsrAgent::memory_bytes() const {
+  constexpr std::size_t kMapNodeOverhead = 2 * sizeof(void*);
+  std::size_t bytes = rreq_seen_.memory_bytes();
+  for (const auto& [dst, cached] : cache_) {
+    bytes += sizeof(dst) + sizeof(cached) + kMapNodeOverhead +
+             cached.path.capacity() * sizeof(NodeId);
+  }
+  bytes += pending_.size() *
+           (sizeof(NodeId) + sizeof(Pending) + kMapNodeOverhead);
+  return bytes;
+}
+
 }  // namespace p2p::routing

@@ -123,6 +123,10 @@ class DsrAgent final : public net::LinkListener, public RoutingService {
   const DsrStats& stats() const noexcept { return stats_; }
   NodeId self() const noexcept { return self_; }
 
+  /// Approximate route-cache + pending-discovery + duplicate-cache
+  /// footprint (queued payload bodies are accounted by the payload pools).
+  std::size_t memory_bytes() const override;
+
  private:
   struct CachedRoute {
     std::vector<NodeId> path;  // path[0] == self_, path.back() == dst

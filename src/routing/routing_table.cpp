@@ -1,8 +1,25 @@
 #include "routing/routing_table.hpp"
 
+#include <algorithm>
+
 namespace p2p::routing {
 
+Route* RoutingTable::lookup(NodeId dst) noexcept {
+  if (use_dense_) {
+    return dense_present(dst) ? &slots_[dst] : nullptr;
+  }
+  return entries_.find(dst);
+}
+
+const Route* RoutingTable::lookup(NodeId dst) const noexcept {
+  if (use_dense_) {
+    return dense_present(dst) ? &slots_[dst] : nullptr;
+  }
+  return entries_.find(dst);
+}
+
 Route& RoutingTable::claim(NodeId dst) {
+  if (!use_dense_) return entries_.get_or_insert(dst);
   const auto need = static_cast<std::size_t>(dst) + 1;
   if (need > slots_.size()) {
     // Geometric growth keeps amortized claim cost O(1) even when ids
@@ -18,14 +35,14 @@ Route& RoutingTable::claim(NodeId dst) {
   Route& r = slots_[dst];
   if ((word & bit) == 0) {
     word |= bit;
-    ++size_;
+    ++dense_count_;
     r = Route{};  // pristine slot: no stale precursors or expiry carryover
   }
   return r;
 }
 
 Route* RoutingTable::find_active(NodeId dst, sim::SimTime now) {
-  Route* r = slot(dst);
+  Route* r = lookup(dst);
   if (r == nullptr || !r->valid) return nullptr;
   if (r->expires <= now) {
     r->valid = false;  // lifetime elapsed; sequence number is retained
@@ -36,7 +53,7 @@ Route* RoutingTable::find_active(NodeId dst, sim::SimTime now) {
 
 bool RoutingTable::is_better(NodeId dst, std::uint32_t seq, bool seq_valid,
                              std::uint8_t hops, sim::SimTime now) const {
-  const Route* r = slot(dst);
+  const Route* r = lookup(dst);
   if (r == nullptr) return true;
   if (!r->valid || r->expires <= now) return true;
   if (!r->seq_valid) return true;
@@ -61,13 +78,13 @@ Route& RoutingTable::update(NodeId dst, NodeId next_hop, std::uint8_t hops,
 }
 
 void RoutingTable::refresh(NodeId dst, sim::SimTime expires) {
-  Route* r = slot(dst);
+  Route* r = lookup(dst);
   if (r == nullptr || !r->valid) return;
   if (expires > r->expires) r->expires = expires;
 }
 
 bool RoutingTable::invalidate(NodeId dst) {
-  Route* r = slot(dst);
+  Route* r = lookup(dst);
   if (r == nullptr) return false;
   if (r->valid) {
     r->valid = false;
@@ -78,27 +95,38 @@ bool RoutingTable::invalidate(NodeId dst) {
 }
 
 void RoutingTable::add_precursor(NodeId dst, NodeId precursor) {
-  Route* r = slot(dst);
+  Route* r = lookup(dst);
   if (r != nullptr) r->precursors.insert(precursor);
 }
 
 void RoutingTable::destinations_via(NodeId next_hop, sim::SimTime now,
                                     std::vector<NodeId>* out) const {
   out->clear();
-  // Word-at-a-time bitmap scan: entries come out in ascending destination
-  // order, which is also a stable, platform-independent RERR ordering.
-  for (std::size_t w = 0; w < occupied_.size(); ++w) {
-    std::uint64_t bits = occupied_[w];
-    while (bits != 0) {
-      const auto b = static_cast<unsigned>(std::countr_zero(bits));
-      bits &= bits - 1;
-      const auto dst = static_cast<NodeId>(w * 64 + b);
-      const Route& r = slots_[dst];
-      if (r.valid && r.expires > now && r.next_hop == next_hop) {
-        out->push_back(dst);
+  if (use_dense_) {
+    // Word-at-a-time bitmap scan: entries come out in ascending
+    // destination order already — the RERR ordering contract.
+    for (std::size_t w = 0; w < occupied_.size(); ++w) {
+      std::uint64_t bits = occupied_[w];
+      while (bits != 0) {
+        const auto b = static_cast<unsigned>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const auto dst = static_cast<NodeId>(w * 64 + b);
+        const Route& r = slots_[dst];
+        if (r.valid && r.expires > now && r.next_hop == next_hop) {
+          out->push_back(dst);
+        }
       }
     }
+    return;
   }
+  entries_.for_each([&](NodeId dst, const Route& r) {
+    if (r.valid && r.expires > now && r.next_hop == next_hop) {
+      out->push_back(dst);
+    }
+  });
+  // Ascending destination order: a stable, platform-independent RERR
+  // ordering regardless of hash-slot layout.
+  std::sort(out->begin(), out->end());
 }
 
 std::vector<NodeId> RoutingTable::destinations_via(NodeId next_hop,
@@ -109,20 +137,42 @@ std::vector<NodeId> RoutingTable::destinations_via(NodeId next_hop,
 }
 
 void RoutingTable::clear() noexcept {
-  // Drop the occupancy bits (lookups fail immediately) and release the
-  // precursor sets so a long-lived crashed node does not pin their heap
-  // nodes; the flat slot storage itself is retained for the node's next
-  // life. claim() resets each slot on reuse.
-  for (std::size_t w = 0; w < occupied_.size(); ++w) {
-    std::uint64_t bits = occupied_[w];
-    while (bits != 0) {
-      const auto b = static_cast<unsigned>(std::countr_zero(bits));
-      bits &= bits - 1;
-      slots_[w * 64 + b].precursors.clear();
+  if (use_dense_) {
+    // Drop the occupancy bits (lookups fail immediately) and release the
+    // precursor sets so a long-lived crashed node does not pin their heap
+    // nodes; the flat slot storage itself is retained for the node's next
+    // life. claim() resets each slot on reuse.
+    for (std::size_t w = 0; w < occupied_.size(); ++w) {
+      std::uint64_t bits = occupied_[w];
+      while (bits != 0) {
+        const auto b = static_cast<unsigned>(std::countr_zero(bits));
+        bits &= bits - 1;
+        slots_[w * 64 + b].precursors.clear();
+      }
+      occupied_[w] = 0;
     }
-    occupied_[w] = 0;
+    dense_count_ = 0;
+    return;
   }
-  size_ = 0;
+  entries_.clear();
+}
+
+RoutingTable::ConstView::ConstView(const RoutingTable* table) : table_(table) {
+  keys_.reserve(table->size());
+  if (table->use_dense_) {
+    for (std::size_t w = 0; w < table->occupied_.size(); ++w) {
+      std::uint64_t bits = table->occupied_[w];
+      while (bits != 0) {
+        const auto b = static_cast<unsigned>(std::countr_zero(bits));
+        bits &= bits - 1;
+        keys_.push_back(static_cast<NodeId>(w * 64 + b));
+      }
+    }
+    return;  // bitmap scan is already ascending
+  }
+  table->entries_.for_each(
+      [&](NodeId dst, const Route&) { keys_.push_back(dst); });
+  std::sort(keys_.begin(), keys_.end());
 }
 
 }  // namespace p2p::routing

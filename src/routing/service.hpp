@@ -5,6 +5,7 @@
 // evaluating ad-hoc routing protocols under a peer-to-peer application.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 
@@ -51,6 +52,11 @@ class RoutingService {
     std::uint64_t data_dropped = 0;
   };
   virtual Telemetry telemetry() const = 0;
+
+  /// Approximate bytes of volatile protocol state (routing tables, route
+  /// caches, duplicate caches) held by this agent — the per-node memory
+  /// the mega-scale telemetry sums fleet-wide. Default: unaccounted.
+  virtual std::size_t memory_bytes() const { return 0; }
 };
 
 }  // namespace p2p::routing

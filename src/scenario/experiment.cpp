@@ -115,6 +115,9 @@ ExperimentResult run_experiment_with(
         t.payload_acquires = slots[idx].payload_acquires;
         t.payload_slab_allocs = slots[idx].payload_slab_allocs;
         t.payload_peak_live = slots[idx].payload_peak_live;
+        t.net_memory_bytes = slots[idx].net_memory_bytes;
+        t.routing_memory_bytes = slots[idx].routing_memory_bytes;
+        t.servent_memory_bytes = slots[idx].servent_memory_bytes;
         t.churn_deaths = slots[idx].churn_deaths;
         t.invariant_violations = slots[idx].invariant_violations;
         t.overlay_disrupted_s = slots[idx].overlay_disrupted_s;

@@ -79,8 +79,10 @@ void SimulationRun::build() {
       routing_.push_back(std::make_unique<routing::DsrAgent>(sim_, *network_,
                                                              id, params_.dsr));
     } else {
-      routing_.push_back(std::make_unique<routing::AodvAgent>(
-          sim_, *network_, id, params_.aodv));
+      auto ap = params_.aodv;
+      ap.population_hint = params_.num_nodes;  // routing-table backend pick
+      routing_.push_back(
+          std::make_unique<routing::AodvAgent>(sim_, *network_, id, ap));
     }
     flood_.push_back(std::make_unique<routing::FloodService>(
         sim_, *network_, id, routing_.back().get()));
@@ -96,6 +98,13 @@ void SimulationRun::build() {
   const std::size_t m = params_.num_members();
   members_.assign(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(m));
   std::sort(members_.begin(), members_.end());
+  // Inverse map, built once: overlay_graph() runs on every monitor tick
+  // and sample, so a per-call O(num_nodes) rebuild would reintroduce a
+  // whole-population scan on the fault-monitor path.
+  node_to_member_.assign(params_.num_nodes, net::kInvalidNode);
+  for (std::size_t idx = 0; idx < members_.size(); ++idx) {
+    node_to_member_[members_[idx]] = static_cast<std::uint32_t>(idx);
+  }
 
   // Content placement over members.
   const content::ZipfLaw law(params_.num_files, params_.max_frequency);
@@ -298,18 +307,14 @@ void SimulationRun::fault_monitor_tick() {
 
 graph::Graph SimulationRun::overlay_graph() const {
   // Vertices are member indices; an edge exists wherever at least one
-  // endpoint holds a reference to the other.
-  std::vector<std::uint32_t> node_to_member(params_.num_nodes,
-                                            net::kInvalidNode);
-  for (std::size_t idx = 0; idx < members_.size(); ++idx) {
-    node_to_member[members_[idx]] = static_cast<std::uint32_t>(idx);
-  }
+  // endpoint holds a reference to the other. node_to_member_ is the
+  // inverse map precomputed by build().
   graph::Graph g(members_.size());
   for (std::size_t idx = 0; idx < servents_.size(); ++idx) {
     for (const net::NodeId peer : servents_[idx]->connections().peers()) {
-      if (peer < node_to_member.size() &&
-          node_to_member[peer] != net::kInvalidNode) {
-        g.add_edge(static_cast<graph::Vertex>(idx), node_to_member[peer]);
+      if (peer < node_to_member_.size() &&
+          node_to_member_[peer] != net::kInvalidNode) {
+        g.add_edge(static_cast<graph::Vertex>(idx), node_to_member_[peer]);
       }
     }
   }
@@ -381,6 +386,14 @@ RunResult SimulationRun::collect() {
   }
   result.events_processed = sim_.events_processed();
   result.peak_queue_depth = sim_.peak_events_pending();
+
+  result.net_memory_bytes = network_->memory_bytes();
+  for (const auto& agent : routing_) {
+    result.routing_memory_bytes += agent->memory_bytes();
+  }
+  for (const auto& servent : servents_) {
+    result.servent_memory_bytes += servent->memory_bytes();
+  }
 
   const net::PayloadPools::Stats pool_stats = network_->pools().stats();
   result.payload_acquires = pool_stats.acquires;

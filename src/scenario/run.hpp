@@ -87,6 +87,17 @@ struct RunResult {
   std::uint64_t payload_slab_allocs = 0;
   std::size_t payload_peak_live = 0;
 
+  // Model-memory accounting (capacity-based, bytes), split by layer so
+  // mega-scale telemetry can attribute growth: the network's dense
+  // per-node arrays + spatial index + blackout ledger, the summed
+  // routing-agent state (tables, caches, pending discoveries), and the
+  // summed member-servent base state (handshake tables, connections,
+  // duplicate caches). All first-touch allocated — growth must track what
+  // the run actually did, not the population squared.
+  std::size_t net_memory_bytes = 0;
+  std::size_t routing_memory_bytes = 0;
+  std::size_t servent_memory_bytes = 0;
+
   // Churn/fault accounting (all 0 when fault injection is disabled).
   std::uint64_t churn_deaths = 0;
   std::uint64_t churn_recoveries = 0;
@@ -193,6 +204,10 @@ class SimulationRun final : public core::QueryRecorder {
   std::vector<std::unique_ptr<routing::RoutingService>> routing_;
   std::vector<std::unique_ptr<routing::FloodService>> flood_;
   std::vector<net::NodeId> members_;  // member index -> node id
+  // Inverse of members_ (kInvalidNode for non-members), precomputed by
+  // build() so overlay_graph() — called per monitor tick — does not
+  // reallocate and refill an O(num_nodes) map on every call.
+  std::vector<std::uint32_t> node_to_member_;
   std::vector<std::unique_ptr<core::Servent>> servents_;
   std::unique_ptr<content::Placement> placement_;
   std::vector<FileRankStats> per_file_;

@@ -51,6 +51,12 @@ std::string RunTelemetry::to_jsonl() const {
          << ",\"payload_slab_allocs\":" << s.payload_slab_allocs
          << ",\"payload_peak_live\":" << s.payload_peak_live;
     }
+    if (s.net_memory_bytes != 0 || s.routing_memory_bytes != 0 ||
+        s.servent_memory_bytes != 0) {
+      os << ",\"net_memory_bytes\":" << s.net_memory_bytes
+         << ",\"routing_memory_bytes\":" << s.routing_memory_bytes
+         << ",\"servent_memory_bytes\":" << s.servent_memory_bytes;
+    }
     if (s.churn_deaths != 0 || s.invariant_violations != 0 ||
         s.overlay_disrupted_s != 0.0) {
       os << ",\"churn_deaths\":" << s.churn_deaths

@@ -31,6 +31,12 @@ struct SeedTelemetry {
   std::uint64_t payload_acquires = 0;
   std::uint64_t payload_slab_allocs = 0;
   std::size_t payload_peak_live = 0;
+  // Model-memory accounting (capacity-based, bytes; see RunResult). Zero
+  // only when unmeasured; emitted to the manifest only when non-zero so
+  // pre-memory-telemetry manifests stay byte-stable.
+  std::size_t net_memory_bytes = 0;
+  std::size_t routing_memory_bytes = 0;
+  std::size_t servent_memory_bytes = 0;
   // Fault telemetry (all zero on fault-free runs; emitted to the manifest
   // only when any is non-zero, keeping fault-free manifests byte-stable).
   std::uint64_t churn_deaths = 0;

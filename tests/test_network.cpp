@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <utility>
@@ -12,6 +13,7 @@
 #include "mobility/model.hpp"
 #include "mobility/trace.hpp"
 #include "net/mac.hpp"
+#include "net/neighbor_index.hpp"
 #include "net/network.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
@@ -516,6 +518,79 @@ TEST(Network, PhysicalHopDistanceGridPathMatchesSnapshotBfs) {
   EXPECT_EQ(f.net->physical_hop_distance(chain[1], island),
             graph::kUnreachable);
   EXPECT_EQ(f.net->adjacency_builds(), builds0 + 1);
+}
+
+// ---- NeighborIndex steady-state allocation lock-in ------------------------
+
+// Deterministic, exactly-periodic motion field: node positions repeat every
+// kStepsPerCycle refresh steps (the angle is computed from the step index,
+// not accumulated time, so cycle N reproduces cycle 1 bit-for-bit). One
+// full cycle therefore drives every bucket to its maximum occupancy — after
+// a warm-up cycle no refresh may allocate again.
+struct OscillatingField {
+  static constexpr int kStepsPerCycle = 50;
+  std::vector<geo::Vec2> centers;
+  int step = 0;
+  geo::Vec2 at(NodeId id) const {
+    const double phase = 0.7 * static_cast<double>(id);
+    const double angle = 2.0 * 3.14159265358979323846 *
+                         static_cast<double>(step % kStepsPerCycle) /
+                         static_cast<double>(kStepsPerCycle);
+    // Amplitude * angular step per refresh stays under the declared
+    // max_speed of 1 m/s, keeping the cell-safe deadlines honest.
+    return {centers[id].x + 3.0 * std::sin(angle + phase),
+            centers[id].y + 3.0 * std::cos(angle + 1.3 * phase)};
+  }
+  static geo::Vec2 sample(void* ctx, NodeId id) {
+    return static_cast<const OscillatingField*>(ctx)->at(id);
+  }
+};
+
+TEST(NeighborIndex, SteadyStateRefreshesAreAllocationFree) {
+  const geo::Region region{100.0, 100.0};
+  constexpr std::size_t kNodes = 200;
+  OscillatingField field;
+  sim::RngStream rng(42);
+  field.centers.reserve(kNodes);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    field.centers.push_back(
+        {rng.uniform(5.0, 95.0), rng.uniform(5.0, 95.0)});
+  }
+
+  net::NeighborIndex incremental(region, 10.0, 0.25, 1.0);
+  net::NeighborIndex full(region, 10.0, 0.25, 1.0);
+  std::vector<geo::Vec2> positions(kNodes);
+  const double dt = 0.4;  // > tolerance, so every step really refreshes
+
+  auto advance = [&](int steps) {
+    for (int k = 0; k < steps; ++k) {
+      ++field.step;
+      const double now = dt * static_cast<double>(field.step);
+      incremental.refresh_incremental(now, kNodes, &OscillatingField::sample,
+                                      &field);
+      for (std::size_t i = 0; i < kNodes; ++i) {
+        positions[i] = field.at(static_cast<NodeId>(i));
+      }
+      full.refresh(now, positions);
+    }
+  };
+
+  // Warm-up: two full motion cycles grow every bucket (and the heap/due
+  // scratch) to the high-water mark the workload can ever need.
+  advance(2 * OscillatingField::kStepsPerCycle);
+  const std::uint64_t incremental_allocs = incremental.alloc_events();
+  const std::uint64_t full_allocs = full.alloc_events();
+  const std::uint64_t resampled_after_warmup = incremental.nodes_resampled();
+
+  // Steady state: two more cycles of identical motion. Any further
+  // allocation is a regression in the hoisting (clear() losing capacity,
+  // a scratch buffer rebuilt per refresh, ...).
+  advance(2 * OscillatingField::kStepsPerCycle);
+  EXPECT_EQ(incremental.alloc_events(), incremental_allocs);
+  EXPECT_EQ(full.alloc_events(), full_allocs);
+  // And the incremental mode kept doing real work the whole time: nodes
+  // crossed cells and were resampled, without triggering an allocation.
+  EXPECT_GT(incremental.nodes_resampled(), resampled_after_warmup);
 }
 
 }  // namespace

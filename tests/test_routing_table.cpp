@@ -3,8 +3,11 @@
 // These tests pin the exact sequence-number/hop-count replacement rules
 // and the lifecycle corners (expiry invalidates but keeps the sequence
 // number, precursors survive updates, slots reset across clear()) so any
-// representation change underneath — the table is a dense per-NodeId
-// array today — is verified against the same observable semantics.
+// representation change underneath — the table is population-gated
+// dual-backend today: dense per-NodeId slots at paper scale, an
+// open-addressed hash map at mega-scale — is verified against the same
+// observable semantics. BackendEquivalence drives both backends through
+// one scripted history and asserts every observable output matches.
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -185,6 +188,100 @@ TEST(RoutingTableVia, BufferOverloadMatchesAndSkipsInactive) {
 
   table.destinations_via(5, 50.0, &buf);
   EXPECT_TRUE(buf.empty());
+}
+
+// --------------------------------------------------- backend equivalence --
+
+// Every observable output of the two backends must match: find, size,
+// destinations_via order, and all() iteration. One scripted pseudo-random
+// history (updates, refreshes, invalidations, expiries, a mid-run clear)
+// is applied to a dense-backed table (universe hint inside
+// kDenseUniverseMax) and a hash-backed table (no hint), comparing after
+// every step.
+TEST(RoutingTableBackends, ObservablyIdenticalUnderSameHistory) {
+  RoutingTable dense;
+  dense.set_universe_hint(64);  // <= kDenseUniverseMax: dense backend
+  RoutingTable hashed;          // no hint: hash backend
+
+  const auto expect_same = [&](double now) {
+    ASSERT_EQ(dense.size(), hashed.size());
+    for (NodeId dst = 0; dst < 64; ++dst) {
+      const Route* a = dense.find(dst);
+      const Route* b = hashed.find(dst);
+      ASSERT_EQ(a == nullptr, b == nullptr) << "dst " << dst;
+      if (a == nullptr) continue;
+      EXPECT_EQ(a->next_hop, b->next_hop);
+      EXPECT_EQ(a->hop_count, b->hop_count);
+      EXPECT_EQ(a->dst_seq, b->dst_seq);
+      EXPECT_EQ(a->seq_valid, b->seq_valid);
+      EXPECT_EQ(a->valid, b->valid);
+      EXPECT_EQ(a->expires, b->expires);
+      EXPECT_EQ(a->precursors, b->precursors);
+    }
+    for (NodeId via = 0; via < 8; ++via) {
+      EXPECT_EQ(dense.destinations_via(via, now),
+                hashed.destinations_via(via, now));
+    }
+    const auto view_a = dense.all();  // views must outlive their iterators
+    const auto view_b = hashed.all();
+    auto it_a = view_a.begin();
+    auto it_b = view_b.begin();
+    for (; it_a != view_a.end(); ++it_a, ++it_b) {
+      EXPECT_EQ((*it_a).dst, (*it_b).dst);
+    }
+  };
+
+  std::uint64_t x = 12345;  // deterministic LCG-driven op script
+  const auto next = [&x](std::uint64_t mod) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<std::uint64_t>((x >> 33) % mod);
+  };
+  for (int step = 0; step < 800; ++step) {
+    const double now = static_cast<double>(step);
+    const auto dst = static_cast<NodeId>(next(64));
+    switch (next(6)) {
+      case 0:
+      case 1: {
+        const auto via = static_cast<NodeId>(next(8));
+        const auto hops = static_cast<std::uint8_t>(1 + next(4));
+        const auto seq = static_cast<std::uint32_t>(next(32));
+        const double expires = now + static_cast<double>(1 + next(40));
+        if (dense.is_better(dst, seq, true, hops, now)) {
+          ASSERT_TRUE(hashed.is_better(dst, seq, true, hops, now));
+          dense.update(dst, via, hops, seq, true, expires);
+          hashed.update(dst, via, hops, seq, true, expires);
+        } else {
+          ASSERT_FALSE(hashed.is_better(dst, seq, true, hops, now));
+        }
+        break;
+      }
+      case 2:
+        dense.refresh(dst, now + 30.0);
+        hashed.refresh(dst, now + 30.0);
+        break;
+      case 3:
+        ASSERT_EQ(dense.invalidate(dst), hashed.invalidate(dst));
+        break;
+      case 4: {
+        const auto pre = static_cast<NodeId>(next(8));
+        dense.add_precursor(dst, pre);
+        hashed.add_precursor(dst, pre);
+        break;
+      }
+      case 5:
+        // find_active has the lazy-expiry side effect; exercise it.
+        ASSERT_EQ(dense.find_active(dst, now) == nullptr,
+                  hashed.find_active(dst, now) == nullptr);
+        break;
+    }
+    if (step == 400) {  // crash/rebirth mid-history
+      dense.clear();
+      hashed.clear();
+    }
+    if (step % 97 == 0) expect_same(now);
+  }
+  expect_same(800.0);
+  EXPECT_GT(dense.size(), 0U);  // the script actually exercised the table
 }
 
 }  // namespace

@@ -2,9 +2,10 @@
 # Record a perf snapshot, or compare two recorded labels.
 #
 # Record mode: build the bench preset, run the harness suites (hotpath's
-# kernel + wireless storms, the aodv_storm route-discovery storm, and the
-# overlay_storm full-stack tier), and append one JSON record per benchmark
-# to BENCH_kernel.json, BENCH_hotpath.json and BENCH_overlay.json at the
+# kernel + wireless storms, the aodv_storm route-discovery storm, the
+# overlay_storm full-stack tier, and the megascale 10k-100k tier), and
+# append one JSON record per benchmark to BENCH_kernel.json,
+# BENCH_hotpath.json, BENCH_overlay.json and BENCH_megascale.json at the
 # repo root (JSON Lines; see docs/performance.md).
 #
 # Compare mode: read those JSONL files back and print per-bench throughput
@@ -47,7 +48,7 @@ if [ "${1:-}" = "--compare" ]; then
   # the first time the overlay tier is recorded).
   set --
   for f in "$repo/BENCH_kernel.json" "$repo/BENCH_hotpath.json" \
-           "$repo/BENCH_overlay.json"; do
+           "$repo/BENCH_overlay.json" "$repo/BENCH_megascale.json"; do
     [ -f "$f" ] && set -- "$@" "$f"
   done
   if [ $# -eq 0 ]; then
@@ -101,6 +102,15 @@ if [ "${1:-}" = "--compare" ]; then
                  (bench in a) ? A : B
           continue
         }
+        if (a[bench] == 0 || b[bench] == 0) {
+          # A zero headline rate (wall time too coarse to resolve, or a
+          # workload that completed zero units) carries no signal — and
+          # dividing by it would abort the whole comparison. Report, do
+          # not fail: only a real measured regression may exit non-zero.
+          printf "%-34s %14.0f %14.0f  (no data)\n", bench, a[bench],
+                 b[bench]
+          continue
+        }
         delta = (b[bench] - a[bench]) / a[bench] * 100.0
         flag = ""
         if (delta < -THR) { flag = "  << REGRESSION"; fail = 1 }
@@ -125,7 +135,7 @@ label="${1:-$(git -C "$repo" rev-parse --short HEAD 2>/dev/null || echo dev)}"
 
 cmake --preset bench -S "$repo" >/dev/null
 cmake --build --preset bench -j --target hotpath --target aodv_storm \
-  --target overlay_storm >/dev/null
+  --target overlay_storm --target megascale >/dev/null
 
 "$repo/build-bench/bench/hotpath" --suite kernel --label "$label" \
   --out "$repo/BENCH_kernel.json"
@@ -135,4 +145,6 @@ cmake --build --preset bench -j --target hotpath --target aodv_storm \
   --out "$repo/BENCH_hotpath.json"
 "$repo/build-bench/bench/overlay_storm" --label "$label" \
   --out "$repo/BENCH_overlay.json"
-echo "appended records labeled '$label' to BENCH_kernel.json / BENCH_hotpath.json / BENCH_overlay.json"
+"$repo/build-bench/bench/megascale" --label "$label" \
+  --out "$repo/BENCH_megascale.json"
+echo "appended records labeled '$label' to BENCH_kernel.json / BENCH_hotpath.json / BENCH_overlay.json / BENCH_megascale.json"
