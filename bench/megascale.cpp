@@ -44,7 +44,9 @@ using bench::Clock;
 using bench::Options;
 using bench::Record;
 
-scenario::Parameters make_params(std::size_t nodes, double sim_seconds) {
+scenario::Parameters make_params(std::size_t nodes, double sim_seconds,
+                                 std::size_t sim_threads,
+                                 std::size_t sim_shards) {
   scenario::Parameters p;
   p.algorithm = core::AlgorithmKind::kRegular;
   p.num_nodes = nodes;
@@ -66,16 +68,32 @@ scenario::Parameters make_params(std::size_t nodes, double sim_seconds) {
   // Measurement-only machinery off: the periodic overlay sampler is
   // O(members + edges) per sample and would dominate at this scale.
   p.overlay_sample_interval_s = 0.0;
+  // Parallel execution. The shard count is pinned whenever any parallel
+  // run is requested (never left to the 0-auto rule) so a --threads sweep
+  // compares identical event histories: sim_threads only changes who
+  // executes them (scenario::Parameters::effective_sim_shards).
+  p.sim_threads = sim_threads;
+  if (sim_shards > 0) {
+    p.sim_shards = sim_shards;
+  } else if (sim_threads > 1) {
+    p.sim_shards = nodes >= 8192 ? 64 : 16;
+  }
   return p;
 }
 
 Record bench_megascale(const std::string& bench_name, std::size_t nodes,
-                       double sim_seconds, int repeat) {
+                       double sim_seconds, int repeat,
+                       std::size_t sim_threads, std::size_t sim_shards) {
   Record rec;
   rec.bench = bench_name;
   rec.ops_name = "frames";
   rec.wall_s = 1e100;
-  const scenario::Parameters params = make_params(nodes, sim_seconds);
+  const scenario::Parameters params =
+      make_params(nodes, sim_seconds, sim_threads, sim_shards);
+  rec.threads = sim_threads;
+  rec.sim_shards = params.effective_sim_shards() > 1
+                       ? params.effective_sim_shards()
+                       : 0;
   for (int r = 0; r < repeat; ++r) {
     scenario::SimulationRun run(params);
     const auto start = Clock::now();
@@ -116,8 +134,20 @@ int main(int argc, char** argv) {
     // seconds is the minimum for completed queries: the first query fires
     // up to query_gap_max (45 s) after join and finalizes only after the
     // 30 s response window.
-    bench::emit(bench_megascale("megascale.smoke", 10000, 75.0, opt.repeat),
+    bench::emit(bench_megascale("megascale.smoke", 10000, 75.0, opt.repeat,
+                                opt.sim_threads, opt.sim_shards),
                 opt);
+    if (opt.sim_threads <= 1 && opt.sim_shards == 0) {
+      // Sharded smoke (plain --smoke invocations only, so a --threads
+      // sweep doesn't double-record): a 5k-node world executed through
+      // the conservative parallel path (4 threads, 16-shard model
+      // pinned). Its counters are fixed-seed reproducible like everything
+      // else here, so bench_guard pins the sharded event history in
+      // tier-1 too, at roughly half the cost of the sequential smoke.
+      bench::emit(bench_megascale("megascale.smoke_sharded", 5000, 75.0,
+                                  opt.repeat, 4, 16),
+                  opt);
+    }
     return 0;
   }
   struct Scale {
@@ -138,7 +168,9 @@ int main(int argc, char** argv) {
     // Single repetition per scale: a 100k-node world is minutes of wall
     // time, and the counters (everything but wall_s) are fixed-seed
     // reproducible anyway.
-    bench::emit(bench_megascale(s.name, s.nodes, s.sim_seconds, 1), opt);
+    bench::emit(bench_megascale(s.name, s.nodes, s.sim_seconds, 1,
+                                opt.sim_threads, opt.sim_shards),
+                opt);
   }
   return 0;
 }

@@ -93,6 +93,13 @@ class NeighborIndex {
   sim::SimTime built_at() const noexcept { return built_at_; }
   bool ever_built() const noexcept { return ever_built_; }
 
+  /// Cached position of node `id` as of its last (re)sample — the exact
+  /// positions the CSR query arrays are built from. Sharded execution
+  /// filters ranges against these (stale by at most the tolerance) so a
+  /// window never touches the mobility models. Valid for id < the indexed
+  /// population.
+  geo::Vec2 cached_position(NodeId id) const noexcept { return node_pos_[id]; }
+
   /// How often a refresh (full or incremental) had to grow a buffer. The
   /// steady-state lock-in test pins this: once warmed up, rebuilds over a
   /// fixed population allocate nothing.

@@ -172,6 +172,13 @@ std::string canonical_parameters(const Parameters& p, std::size_t num_seeds) {
   put(os, "qualifier_dist", static_cast<std::uint64_t>(p.qualifier_dist));
   put(os, "overlay_sample_interval", p.overlay_sample_interval_s);
   put(os, "join_stagger", p.join_stagger_s);
+  // The shard count is a model parameter (spatial decomposition + per-shard
+  // RNG streams); sim_threads is pure execution and never enters the key.
+  // Non-default-only: 1 effective shard is the legacy sequential schedule,
+  // so existing cache entries keep their keys.
+  if (p.effective_sim_shards() > 1) {
+    put(os, "sim_shards", static_cast<std::uint64_t>(p.effective_sim_shards()));
+  }
   put(os, "num_seeds", static_cast<std::uint64_t>(num_seeds));
   return os.str();
 }

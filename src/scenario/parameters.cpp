@@ -106,7 +106,11 @@ std::string Parameters::apply(const util::Config& config) {
   get_d("overlay_sample_interval_s", &overlay_sample_interval_s);
   get_d("join_stagger_s", &join_stagger_s);
 
+  get_sz("sim_threads", &sim_threads);
+  get_sz("sim_shards", &sim_shards);
+
   if (num_nodes == 0) return "num_nodes must be > 0";
+  if (sim_threads == 0) return "sim_threads must be > 0";
   if (p2p_fraction <= 0.0 || p2p_fraction > 1.0) {
     return "p2p_fraction must be in (0, 1]";
   }

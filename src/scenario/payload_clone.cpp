@@ -1,0 +1,93 @@
+#include "scenario/payload_clone.hpp"
+
+#include "core/messages.hpp"
+#include "routing/dsdv.hpp"
+#include "routing/dsr.hpp"
+#include "routing/messages.hpp"
+#include "util/assert.hpp"
+
+namespace p2p::scenario {
+
+namespace {
+
+net::AppPayloadPtr clone_app(const net::AppPayload& src,
+                             net::PayloadPools& pools) {
+  using core::MsgType;
+  switch (static_cast<MsgType>(src.kind)) {
+    case MsgType::kConnectProbe:
+      return pools.make_from(static_cast<const core::ConnectProbe&>(src));
+    case MsgType::kConnectOffer:
+      return pools.make_from(static_cast<const core::ConnectOffer&>(src));
+    case MsgType::kConnectRequest:
+      return pools.make_from(static_cast<const core::ConnectRequest&>(src));
+    case MsgType::kConnectAck:
+      return pools.make_from(static_cast<const core::ConnectAck&>(src));
+    case MsgType::kPing:
+      return pools.make_from(static_cast<const core::Ping&>(src));
+    case MsgType::kPong:
+      return pools.make_from(static_cast<const core::Pong&>(src));
+    case MsgType::kQuery:
+      return pools.make_from(static_cast<const core::Query&>(src));
+    case MsgType::kQueryHit:
+      return pools.make_from(static_cast<const core::QueryHit&>(src));
+    case MsgType::kCapture:
+      return pools.make_from(static_cast<const core::Capture&>(src));
+    case MsgType::kSlaveRequest:
+      return pools.make_from(static_cast<const core::SlaveRequest&>(src));
+    case MsgType::kSlaveAccept:
+      return pools.make_from(static_cast<const core::SlaveAccept&>(src));
+    case MsgType::kSlaveConfirm:
+      return pools.make_from(static_cast<const core::SlaveConfirm&>(src));
+    case MsgType::kSlaveReject:
+      return pools.make_from(static_cast<const core::SlaveReject&>(src));
+    case MsgType::kBye:
+      return pools.make_from(static_cast<const core::Bye&>(src));
+  }
+  P2P_ASSERT_MSG(false, "unknown app payload kind");
+  return {};
+}
+
+}  // namespace
+
+net::FramePayloadPtr clone_frame_payload(const net::FramePayload& src,
+                                         net::PayloadPools& pools) {
+  using routing::FrameKind;
+  switch (static_cast<FrameKind>(src.kind)) {
+    case FrameKind::kRreq:
+      return pools.make_from(static_cast<const routing::Rreq&>(src));
+    case FrameKind::kRrep:
+      return pools.make_from(static_cast<const routing::Rrep&>(src));
+    case FrameKind::kRerr:
+      return pools.make_from(static_cast<const routing::Rerr&>(src));
+    case FrameKind::kData: {
+      const auto& data = static_cast<const routing::DataMsg&>(src);
+      auto ref = pools.make_from(data);
+      if (data.app) ref.edit()->app = clone_app(*data.app, pools);
+      return ref;
+    }
+    case FrameKind::kFlood: {
+      const auto& flood = static_cast<const routing::FloodMsg&>(src);
+      auto ref = pools.make_from(flood);
+      if (flood.app) ref.edit()->app = clone_app(*flood.app, pools);
+      return ref;
+    }
+    case FrameKind::kDsdvUpdate:
+      return pools.make_from(static_cast<const routing::DsdvUpdate&>(src));
+    case FrameKind::kDsrRreq:
+      return pools.make_from(static_cast<const routing::DsrRreq&>(src));
+    case FrameKind::kDsrRrep:
+      return pools.make_from(static_cast<const routing::DsrRrep&>(src));
+    case FrameKind::kDsrRerr:
+      return pools.make_from(static_cast<const routing::DsrRerr&>(src));
+    case FrameKind::kDsrData: {
+      const auto& data = static_cast<const routing::DsrData&>(src);
+      auto ref = pools.make_from(data);
+      if (data.app) ref.edit()->app = clone_app(*data.app, pools);
+      return ref;
+    }
+  }
+  P2P_ASSERT_MSG(false, "unknown frame payload kind");
+  return {};
+}
+
+}  // namespace p2p::scenario

@@ -1,0 +1,20 @@
+// Deep-copy of frame payloads between per-shard payload pools.
+//
+// Sharded execution (net::Network::enable_sharding) keeps one PayloadPools
+// per lane so refcounts stay non-atomic; a frame crossing shards must be
+// re-materialized in the destination lane's pools. The Network layer never
+// inspects payloads, so the scenario layer — which links against every
+// concrete message type — supplies this cloner.
+#pragma once
+
+#include "net/payload.hpp"
+#include "net/types.hpp"
+
+namespace p2p::scenario {
+
+/// net::Network::FrameCloner: clones `src` (and any nested app payload)
+/// into `pools`. Called only at window barriers, single-threaded.
+net::FramePayloadPtr clone_frame_payload(const net::FramePayload& src,
+                                         net::PayloadPools& pools);
+
+}  // namespace p2p::scenario

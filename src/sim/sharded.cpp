@@ -1,0 +1,118 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace p2p::sim {
+
+ShardedExecutor::ShardedExecutor(std::vector<Simulator*> shards,
+                                 Simulator* global, SimTime lookahead,
+                                 std::size_t threads)
+    : shards_(std::move(shards)),
+      global_(global),
+      lookahead_(lookahead),
+      threads_(threads == 0 ? 1 : threads) {
+  P2P_ASSERT(!shards_.empty());
+  P2P_ASSERT(global_ != nullptr);
+  P2P_ASSERT_MSG(lookahead_ > 0.0, "lookahead must be positive");
+}
+
+void ShardedExecutor::run(SimTime t_end, const Callbacks& cb) {
+  const std::size_t parties = std::min(threads_, shards_.size());
+  parties_ = parties;
+  cb_ = &cb;
+  bool sense_start = false;
+  bool sense_end = false;
+  if (parties > 1) {
+    stop_.store(false, std::memory_order_relaxed);
+    start_barrier_.reset(parties);
+    end_barrier_.reset(parties);
+    workers_.reserve(parties - 1);
+    for (std::size_t tid = 1; tid < parties; ++tid) {
+      workers_.emplace_back([this, tid] { worker_loop(tid); });
+    }
+  }
+
+  for (;;) {
+    SimTime m = kTimeNever;
+    for (Simulator* shard : shards_) {
+      const SimTime t = shard->next_event_time();
+      if (t < m) m = t;
+    }
+    const SimTime g = global_->next_event_time();
+    const SimTime first = g < m ? g : m;
+    if (first == kTimeNever || first > t_end) break;
+    if (g <= m) {
+      // Global events run alone, shards quiesced; at a tie the global
+      // event precedes any shard event at the same instant (fixed rule).
+      global_->run_until(g);
+      continue;
+    }
+    SimTime end = m + lookahead_;
+    if (g < end) end = g;
+    bool inclusive = false;
+    if (end > t_end) {
+      // Final window: run events at exactly t_end too (run_until
+      // semantics). Safe because every cross-shard arrival produced here
+      // lands at >= m + lookahead > t_end — beyond the run.
+      end = t_end;
+      inclusive = true;
+    }
+    if (cb.before_window) cb.before_window(m, end);
+    window_end_ = end;
+    window_inclusive_ = inclusive;
+    ++windows_;
+    if (parties > 1) start_barrier_.arrive_and_wait(&sense_start);
+    run_assigned(0);
+    if (parties > 1) end_barrier_.arrive_and_wait(&sense_end);
+    if (cb.after_window) cb.after_window(end);
+  }
+
+  if (parties > 1) {
+    stop_.store(true, std::memory_order_relaxed);
+    start_barrier_.arrive_and_wait(&sense_start);
+    for (std::thread& worker : workers_) worker.join();
+    workers_.clear();
+  }
+  // Nothing at or before t_end remains (loop invariant); advance every
+  // clock so post-run collection reads a consistent t_end.
+  global_->run_until(t_end);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (cb.enter_shard) cb.enter_shard(s);
+    shards_[s]->run_until(t_end);
+    if (cb.exit_shard) cb.exit_shard();
+  }
+  cb_ = nullptr;
+}
+
+void ShardedExecutor::worker_loop(std::size_t tid) {
+  bool sense_start = false;
+  bool sense_end = false;
+  for (;;) {
+    start_barrier_.arrive_and_wait(&sense_start);
+    if (stop_.load(std::memory_order_relaxed)) return;
+    run_assigned(tid);
+    end_barrier_.arrive_and_wait(&sense_end);
+  }
+}
+
+void ShardedExecutor::run_assigned(std::size_t tid) {
+  const SimTime end = window_end_;
+  const bool inclusive = window_inclusive_;
+  const Callbacks& cb = *cb_;
+  for (std::size_t s = tid; s < shards_.size(); s += parties_) {
+    Simulator* shard = shards_[s];
+    const SimTime t = shard->next_event_time();
+    if (t == kTimeNever || (inclusive ? t > end : t >= end)) continue;
+    if (cb.enter_shard) cb.enter_shard(s);
+    if (inclusive) {
+      shard->run_until(end);
+    } else {
+      shard->run_window(end);
+    }
+    if (cb.exit_shard) cb.exit_shard();
+  }
+}
+
+}  // namespace p2p::sim
