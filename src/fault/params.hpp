@@ -40,6 +40,17 @@ struct FaultParams {
   // the base MAC loss: p_eff = 1 - (1 - p_base) * (1 - p_burst).
   double burst_loss_probability = 0.8;
 
+  // ---- injected worker crash (crash-isolation testing) ----
+  // Throw out of the run itself at this simulated time; < 0 disables.
+  // Unlike the processes above this is NOT a modeled network fault — it
+  // aborts the repetition, exercising the crash-isolated worker paths
+  // (ExperimentError in batch mode, a structured per-seed error from the
+  // serving daemon). Sequential execution only (rejected when the
+  // scenario shards; an exception may not cross shard worker threads).
+  double crash_run_at_s = -1.0;
+
+  bool crash_run_enabled() const noexcept { return crash_run_at_s >= 0.0; }
+
   bool churn_enabled() const noexcept {
     return churn_rate_per_hour > 0.0 || mean_uptime_s > 0.0;
   }

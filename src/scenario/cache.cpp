@@ -57,6 +57,62 @@ bool read_curve(std::istream& is, const std::string& expect_name,
   return true;
 }
 
+// ---- checksummed entry I/O (shared by experiment + seed entries) -------
+//
+// On-disk layout: "p2pmanet-cache <version> <fnv1a-hex-of-payload>\n"
+// followed by the payload. Readers verify the checksum before trusting a
+// byte: a truncated, torn, or corrupted entry is a miss, never a crash.
+// Writers publish via a process-private temp file + rename, so concurrent
+// writers (threads in one daemon, or entirely separate processes racing on
+// one key) each publish a complete entry and one of them wins.
+
+bool read_checksummed(const std::string& path, const char* version,
+                      std::string* payload) {
+  std::ifstream file(path);
+  if (!file) return false;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const std::string contents = buffer.str();
+
+  const std::size_t header_end = contents.find('\n');
+  if (header_end == std::string::npos) return false;
+  std::istringstream header(contents.substr(0, header_end));
+  std::string magic, got_version, checksum_hex;
+  if (!(header >> magic >> got_version >> checksum_hex)) return false;
+  if (magic != "p2pmanet-cache" || got_version != version) return false;
+  std::string body = contents.substr(header_end + 1);
+  std::uint64_t expected = 0;
+  try {
+    expected = std::stoull(checksum_hex, nullptr, 16);
+  } catch (...) {
+    return false;
+  }
+  if (sim::fnv1a(body) != expected) return false;
+  *payload = std::move(body);
+  return true;
+}
+
+void write_checksummed(const std::string& path, const char* version,
+                       const std::string& payload) {
+  std::error_code ec;
+  std::filesystem::create_directories(cache_directory(), ec);
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream file(tmp, std::ios::trunc);
+    if (!file) return;
+    file << "p2pmanet-cache " << version << ' ' << std::hex
+         << sim::fnv1a(payload) << '\n'
+         << payload;
+    if (!file) {
+      file.close();
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) std::filesystem::remove(tmp, ec);
+}
+
 }  // namespace
 
 std::string canonical_parameters(const Parameters& p, std::size_t num_seeds) {
@@ -151,6 +207,12 @@ std::string canonical_parameters(const Parameters& p, std::size_t num_seeds) {
       put(os, "fault_burst_duration", p.fault.burst_duration_s);
       put(os, "fault_burst_loss", p.fault.burst_loss_probability);
     }
+    if (p.fault.crash_run_enabled()) {
+      // Crashing runs never produce a cache entry, but the key must still
+      // differ so a crash-configured request can never alias a healthy
+      // cached result for the same scenario.
+      put(os, "fault_crash_run_at", p.fault.crash_run_at_s);
+    }
     if (p.invariant_check_interval_s != 0.0) {
       put(os, "invariant_check_interval", p.invariant_check_interval_s);
     }
@@ -209,29 +271,13 @@ std::string manifest_path(const Parameters& params, std::size_t num_seeds) {
 
 bool load_cached(const Parameters& params, std::size_t num_seeds,
                  ExperimentResult* result) {
-  std::ifstream file(cache_path(params, num_seeds));
-  if (!file) return false;
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  const std::string contents = buffer.str();
-
   // Header line: "p2pmanet-cache v2 <fnv1a-hex-of-payload>". A truncated,
   // torn, or otherwise corrupted entry fails the checksum and is treated
   // as a miss, never a crash.
-  const std::size_t header_end = contents.find('\n');
-  if (header_end == std::string::npos) return false;
-  std::istringstream header(contents.substr(0, header_end));
-  std::string magic, version, checksum_hex;
-  if (!(header >> magic >> version >> checksum_hex)) return false;
-  if (magic != "p2pmanet-cache" || version != "v2") return false;
-  const std::string payload = contents.substr(header_end + 1);
-  std::uint64_t expected = 0;
-  try {
-    expected = std::stoull(checksum_hex, nullptr, 16);
-  } catch (...) {
+  std::string payload;
+  if (!read_checksummed(cache_path(params, num_seeds), "v2", &payload)) {
     return false;
   }
-  if (sim::fnv1a(payload) != expected) return false;
 
   std::istringstream is(payload);
   ExperimentResult r;
@@ -288,8 +334,6 @@ bool load_cached(const Parameters& params, std::size_t num_seeds,
 
 void store_cached(const Parameters& params, std::size_t num_seeds,
                   const ExperimentResult& result) {
-  std::error_code ec;
-  std::filesystem::create_directories(cache_directory(), ec);
   std::ostringstream os;
   os.precision(17);
   os << "runs " << result.runs << '\n';
@@ -320,28 +364,29 @@ void store_cached(const Parameters& params, std::size_t num_seeds,
     os << '\n';
   }
 
-  // Atomic publish: write to a process-private temp file, then rename into
-  // place. Concurrent bench processes racing on the same key each publish
-  // a complete entry; readers never observe a torn file. The payload
-  // checksum in the header catches any other corruption (crash mid-write
-  // on a filesystem without atomic rename, manual edits, ...).
-  const std::string payload = os.str();
-  const std::string path = cache_path(params, num_seeds);
-  const std::string tmp =
-      path + ".tmp." + std::to_string(::getpid());
-  {
-    std::ofstream file(tmp, std::ios::trunc);
-    if (!file) return;
-    file << "p2pmanet-cache v2 " << std::hex << sim::fnv1a(payload) << '\n'
-         << payload;
-    if (!file) {
-      file.close();
-      std::filesystem::remove(tmp, ec);
-      return;
-    }
+  write_checksummed(cache_path(params, num_seeds), "v2", os.str());
+}
+
+std::string seed_cache_path(const Parameters& params) {
+  return cache_directory() + "/" + cache_key(params, 1) + ".seed.txt";
+}
+
+bool load_cached_seed_line(const Parameters& params, std::string* line) {
+  std::string payload;
+  if (!read_checksummed(seed_cache_path(params), "seed-v1", &payload)) {
+    return false;
   }
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) std::filesystem::remove(tmp, ec);
+  // Payload is the line plus the trailing newline the writer appended.
+  if (payload.empty() || payload.back() != '\n') return false;
+  payload.pop_back();
+  if (payload.find('\n') != std::string::npos) return false;
+  *line = std::move(payload);
+  return true;
+}
+
+void store_cached_seed_line(const Parameters& params,
+                            const std::string& line) {
+  write_checksummed(seed_cache_path(params), "seed-v1", line + "\n");
 }
 
 ExperimentResult run_experiment_cached(const Parameters& params,

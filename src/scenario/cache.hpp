@@ -42,6 +42,27 @@ bool load_cached(const Parameters& params, std::size_t num_seeds,
 void store_cached(const Parameters& params, std::size_t num_seeds,
                   const ExperimentResult& result);
 
+// ---- per-seed result cache (serving daemon's dedup unit) ---------------
+//
+// The daemon (src/serve) serves single (config, seed) results, so its
+// cache entry is one seed's deterministic telemetry line (see
+// scenario::seed_line_json with timing off), keyed by the same canonical
+// parameter hash as the experiment cache with num_seeds = 1 and
+// params.seed = the seed. Entries use the same torn-file-is-a-miss
+// checksummed format and the same atomic temp-file + rename publish, so
+// any number of daemon workers OR separate processes can race on one
+// entry: exactly one complete file wins, readers never see a tear.
+
+/// Path of the (config, seed) entry for params (params.seed is the seed).
+std::string seed_cache_path(const Parameters& params);
+
+/// Load a served seed line. False on miss/corruption; never throws.
+bool load_cached_seed_line(const Parameters& params, std::string* line);
+
+/// Persist a served seed line (atomic publish, best-effort).
+void store_cached_seed_line(const Parameters& params,
+                            const std::string& line);
+
 /// run_experiment with the cache wrapped around it; prints nothing. On a
 /// cache miss the freshly computed experiment's telemetry manifest is
 /// written next to the entry (see manifest_path); pass `telemetry` to

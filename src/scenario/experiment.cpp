@@ -57,6 +57,33 @@ void aggregate(ExperimentResult* result, const RunResult& run) {
       static_cast<double>(run.invariant_violations));
 }
 
+/// The per-seed telemetry record for one finished run (shared by the
+/// batch worker and run_single_seed so the two paths can never drift).
+SeedTelemetry make_seed_telemetry(std::size_t seed_index, std::uint64_t seed,
+                                  double wall, const RunResult& run) {
+  SeedTelemetry t;
+  t.seed_index = seed_index;
+  t.seed = seed;
+  t.wall_seconds = wall;
+  t.events_processed = run.events_processed;
+  t.events_per_sec =
+      wall > 0.0 ? static_cast<double>(run.events_processed) / wall : 0.0;
+  t.frames_tx = run.frames_transmitted;
+  t.frames_rx = run.frames_delivered;
+  t.frames_lost = run.frames_lost;
+  t.peak_queue_depth = run.peak_queue_depth;
+  t.payload_acquires = run.payload_acquires;
+  t.payload_slab_allocs = run.payload_slab_allocs;
+  t.payload_peak_live = run.payload_peak_live;
+  t.net_memory_bytes = run.net_memory_bytes;
+  t.routing_memory_bytes = run.routing_memory_bytes;
+  t.servent_memory_bytes = run.servent_memory_bytes;
+  t.churn_deaths = run.churn_deaths;
+  t.invariant_violations = run.invariant_violations;
+  t.overlay_disrupted_s = run.overlay_disrupted_s;
+  return t;
+}
+
 }  // namespace
 
 ExperimentResult run_experiment_with(
@@ -100,28 +127,8 @@ ExperimentResult run_experiment_with(
       if (telemetry != nullptr) {
         const double wall =
             std::chrono::duration<double>(Clock::now() - start).count();
-        SeedTelemetry t;
-        t.seed_index = idx;
-        t.seed = params.seed;
-        t.wall_seconds = wall;
-        t.events_processed = slots[idx].events_processed;
-        t.events_per_sec =
-            wall > 0.0 ? static_cast<double>(slots[idx].events_processed) / wall
-                       : 0.0;
-        t.frames_tx = slots[idx].frames_transmitted;
-        t.frames_rx = slots[idx].frames_delivered;
-        t.frames_lost = slots[idx].frames_lost;
-        t.peak_queue_depth = slots[idx].peak_queue_depth;
-        t.payload_acquires = slots[idx].payload_acquires;
-        t.payload_slab_allocs = slots[idx].payload_slab_allocs;
-        t.payload_peak_live = slots[idx].payload_peak_live;
-        t.net_memory_bytes = slots[idx].net_memory_bytes;
-        t.routing_memory_bytes = slots[idx].routing_memory_bytes;
-        t.servent_memory_bytes = slots[idx].servent_memory_bytes;
-        t.churn_deaths = slots[idx].churn_deaths;
-        t.invariant_violations = slots[idx].invariant_violations;
-        t.overlay_disrupted_s = slots[idx].overlay_disrupted_s;
-        telemetry->set(idx, t);
+        telemetry->set(
+            idx, make_seed_telemetry(idx, params.seed, wall, slots[idx]));
       }
       if (on_run_done) on_run_done(idx, num_seeds);  // no lock held
     }
@@ -177,6 +184,25 @@ ExperimentResult run_experiment(const Parameters& base, std::size_t num_seeds,
       base, num_seeds, threads,
       [](const Parameters& params) { return SimulationRun(params).run(); },
       on_run_done, telemetry);
+}
+
+RunResult run_single_seed(const Parameters& params, SeedTelemetry* telemetry) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  RunResult result;
+  try {
+    result = SimulationRun(params).run();
+  } catch (const std::exception& e) {
+    throw ExperimentError(0, params.seed, e.what());
+  } catch (...) {
+    throw ExperimentError(0, params.seed, "unknown exception");
+  }
+  if (telemetry != nullptr) {
+    const double wall =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    *telemetry = make_seed_telemetry(0, params.seed, wall, result);
+  }
+  return result;
 }
 
 std::size_t bench_seed_count() {

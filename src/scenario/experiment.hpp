@@ -115,6 +115,16 @@ ExperimentResult run_experiment_with(
     const std::function<RunResult(const Parameters&)>& run_fn,
     const SeedDoneFn& on_run_done = {}, RunTelemetry* telemetry = nullptr);
 
+/// Run exactly ONE repetition — the scenario as given, seed = params.seed
+/// — with the same crash isolation as run_experiment: any exception from
+/// inside the run is rethrown as ExperimentError (seed_index 0) instead of
+/// propagating raw. Fills `telemetry` (if non-null) exactly as the batch
+/// worker would for a one-seed experiment. This is the serving daemon's
+/// unit of work (src/serve): a served (config, seed) result is by
+/// construction identical to the batch path's repetition of that seed.
+RunResult run_single_seed(const Parameters& params,
+                          SeedTelemetry* telemetry = nullptr);
+
 /// Number of repetitions the paper uses.
 inline constexpr std::size_t kPaperSeeds = 33;
 

@@ -1,23 +1,64 @@
 #include "scenario/parameters.hpp"
 
+#include <set>
 #include <sstream>
 
 #include "core/factory.hpp"
+#include "util/strings.hpp"
 
 namespace p2p::scenario {
 
 std::string Parameters::apply(const util::Config& config) {
+  // Daemon-hardened application: every key must be known AND parse as its
+  // declared type. The pre-serving behavior — a typo'd key or a value like
+  // "fifty" silently keeping the default — is exactly wrong for untrusted
+  // input: the caller believes an override took effect when it did not.
+  // The first problem is reported ("key 'x': ..."); later getters no-op.
+  std::string err;
+  std::set<std::string, std::less<>> pending;
+  for (auto& key : config.keys()) pending.insert(std::move(key));
+
+  const auto take = [&](const char* key) -> std::optional<std::string> {
+    pending.erase(key);
+    return config.get_string(key);
+  };
   const auto get_d = [&](const char* key, double* out) {
-    if (const auto v = config.get_double(key)) *out = *v;
+    const auto s = take(key);
+    if (!s || !err.empty()) return;
+    if (const auto v = util::parse_double(*s)) *out = *v;
+    else err = std::string("key '") + key + "': invalid number '" + *s + "'";
+  };
+  const auto get_u64 = [&](const char* key, std::uint64_t* out) {
+    const auto s = take(key);
+    if (!s || !err.empty()) return;
+    const auto v = util::parse_int(*s);
+    if (!v || *v < 0) {
+      err = std::string("key '") + key + "': invalid non-negative integer '" +
+            *s + "'";
+      return;
+    }
+    *out = static_cast<std::uint64_t>(*v);
   };
   const auto get_sz = [&](const char* key, std::size_t* out) {
-    if (const auto v = config.get_int(key)) *out = static_cast<std::size_t>(*v);
+    std::uint64_t v = *out;  // untouched unless present and valid
+    get_u64(key, &v);
+    *out = static_cast<std::size_t>(v);
   };
   const auto get_i = [&](const char* key, int* out) {
-    if (const auto v = config.get_int(key)) *out = static_cast<int>(*v);
+    const auto s = take(key);
+    if (!s || !err.empty()) return;
+    const auto v = util::parse_int(*s);
+    if (!v || *v < -2147483648LL || *v > 2147483647LL) {
+      err = std::string("key '") + key + "': invalid integer '" + *s + "'";
+      return;
+    }
+    *out = static_cast<int>(*v);
   };
   const auto get_b = [&](const char* key, bool* out) {
-    if (const auto v = config.get_bool(key)) *out = *v;
+    const auto s = take(key);
+    if (!s || !err.empty()) return;
+    if (const auto v = util::parse_bool(*s)) *out = *v;
+    else err = std::string("key '") + key + "': invalid boolean '" + *s + "'";
   };
 
   get_d("area_width", &area_width);
@@ -26,10 +67,10 @@ std::string Parameters::apply(const util::Config& config) {
   get_sz("num_nodes", &num_nodes);
   get_d("p2p_fraction", &p2p_fraction);
   get_d("duration_s", &duration_s);
-  if (const auto v = config.get_int("seed")) seed = static_cast<std::uint64_t>(*v);
+  get_u64("seed", &seed);
 
   get_b("mobile", &mobile);
-  if (const auto v = config.get_string("mobility")) {
+  if (const auto v = take("mobility"); v && err.empty()) {
     if (*v == "waypoint") mobility_kind = MobilityKind::kRandomWaypoint;
     else if (*v == "direction") mobility_kind = MobilityKind::kRandomDirection;
     else if (*v == "gauss_markov") mobility_kind = MobilityKind::kGaussMarkov;
@@ -39,12 +80,14 @@ std::string Parameters::apply(const util::Config& config) {
   get_d("min_speed", &min_speed);
   get_d("max_pause", &max_pause);
 
-  if (const auto v = config.get_int("num_files")) {
-    num_files = static_cast<std::uint32_t>(*v);
+  {
+    std::uint64_t files = num_files;
+    get_u64("num_files", &files);
+    num_files = static_cast<std::uint32_t>(files);
   }
   get_d("max_frequency", &max_frequency);
 
-  if (const auto v = config.get_string("algorithm")) {
+  if (const auto v = take("algorithm"); v && err.empty()) {
     const auto kind = core::parse_algorithm(*v);
     if (!kind) return "unknown algorithm: " + *v;
     algorithm = *kind;
@@ -71,7 +114,7 @@ std::string Parameters::apply(const util::Config& config) {
   get_b("query_by_popularity", &p2p.query_by_popularity);
   get_b("enable_queries", &p2p.enable_queries);
 
-  if (const auto v = config.get_string("routing_protocol")) {
+  if (const auto v = take("routing_protocol"); v && err.empty()) {
     if (*v == "aodv") routing_protocol = RoutingProtocol::kAodv;
     else if (*v == "dsdv") routing_protocol = RoutingProtocol::kDsdv;
     else if (*v == "dsr") routing_protocol = RoutingProtocol::kDsr;
@@ -95,10 +138,11 @@ std::string Parameters::apply(const util::Config& config) {
   get_d("loss_burst_rate", &fault.burst_rate_per_hour);
   get_d("loss_burst_duration", &fault.burst_duration_s);
   get_d("loss_burst_loss", &fault.burst_loss_probability);
+  get_d("crash_run_at", &fault.crash_run_at_s);
   get_d("invariant_check_interval", &invariant_check_interval_s);
   get_d("fault_monitor_interval", &fault_monitor_interval_s);
 
-  if (const auto v = config.get_string("qualifier_dist")) {
+  if (const auto v = take("qualifier_dist"); v && err.empty()) {
     if (*v == "uniform") qualifier_dist = QualifierDist::kUniformPermutation;
     else if (*v == "two_class") qualifier_dist = QualifierDist::kTwoClass;
     else return "unknown qualifier_dist: " + *v;
@@ -109,10 +153,58 @@ std::string Parameters::apply(const util::Config& config) {
   get_sz("sim_threads", &sim_threads);
   get_sz("sim_shards", &sim_shards);
 
+  if (!err.empty()) return err;
+  if (!pending.empty()) return "unknown key: " + *pending.begin();
+
+  // Range validation. Every rule here exists because the daemon feeds this
+  // from the network: a value that would wedge the simulator (zero area,
+  // negative duration, probability > 1) must be an error, not a 100%-CPU
+  // surprise discovered inside a worker.
   if (num_nodes == 0) return "num_nodes must be > 0";
-  if (sim_threads == 0) return "sim_threads must be > 0";
+  if (area_width <= 0.0 || area_height <= 0.0) {
+    return "area dimensions must be > 0";
+  }
+  if (radio_range <= 0.0) return "radio_range must be > 0";
+  if (duration_s <= 0.0) return "duration_s must be > 0";
   if (p2p_fraction <= 0.0 || p2p_fraction > 1.0) {
     return "p2p_fraction must be in (0, 1]";
+  }
+  if (min_speed < 0.0 || max_speed < min_speed) {
+    return "need 0 <= min_speed <= max_speed";
+  }
+  if (max_pause < 0.0) return "max_pause must be >= 0";
+  if (num_files == 0) return "num_files must be > 0";
+  if (max_frequency <= 0.0 || max_frequency > 1.0) {
+    return "max_frequency must be in (0, 1]";
+  }
+  if (mac.bandwidth_bps <= 0.0) return "mac_bandwidth_bps must be > 0";
+  if (mac.loss_probability < 0.0 || mac.loss_probability > 1.0) {
+    return "mac_loss_probability must be in [0, 1]";
+  }
+  if (mac.gray_zone_fraction < 0.0 || mac.gray_zone_fraction > 1.0) {
+    return "mac_gray_zone_fraction must be in [0, 1]";
+  }
+  if (energy.battery_j <= 0.0) return "battery_j must be > 0";
+  if (churn_death_rate_per_hour < 0.0 || fault.churn_rate_per_hour < 0.0 ||
+      fault.blackout_rate_per_hour < 0.0 || fault.burst_rate_per_hour < 0.0) {
+    return "fault rates must be >= 0";
+  }
+  if (fault.mean_uptime_s < 0.0 || fault.mean_downtime_s < 0.0 ||
+      fault.blackout_duration_s < 0.0 || fault.burst_duration_s < 0.0 ||
+      churn_down_time < 0.0) {
+    return "fault durations must be >= 0";
+  }
+  if (fault.burst_loss_probability < 0.0 ||
+      fault.burst_loss_probability > 1.0) {
+    return "loss_burst_loss must be in [0, 1]";
+  }
+  if (invariant_check_interval_s < 0.0 || fault_monitor_interval_s < 0.0 ||
+      overlay_sample_interval_s < 0.0 || join_stagger_s < 0.0) {
+    return "intervals must be >= 0";
+  }
+  if (sim_threads == 0) return "sim_threads must be > 0";
+  if (fault.crash_run_enabled() && effective_sim_shards() > 1) {
+    return "crash_run_at requires sequential execution (sim_shards <= 1)";
   }
   return {};
 }

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <numeric>
+#include <stdexcept>
 
 #include "content/zipf.hpp"
 #include "core/factory.hpp"
@@ -295,6 +296,18 @@ void SimulationRun::build() {
       sim_.after(params_.fault_monitor_interval_s,
                  Monitor{this, params_.fault_monitor_interval_s});
     }
+  }
+
+  // Injected worker crash: abort the repetition itself at a fixed sim
+  // time. Sequential execution only — the exception must unwind on the
+  // thread that called run() (Parameters::apply rejects it when sharded).
+  if (params_.fault.crash_run_enabled()) {
+    P2P_ASSERT_MSG(num_shards_ == 1,
+                   "fault crash_run_at requires sequential execution");
+    sim_.after(params_.fault.crash_run_at_s, [] {
+      throw std::runtime_error(
+          "injected worker crash (fault crash_run_at)");
+    });
   }
 }
 

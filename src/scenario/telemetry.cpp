@@ -28,6 +28,54 @@ double RunTelemetry::aggregate_events_per_sec() const noexcept {
   return wall > 0.0 ? static_cast<double>(events) / wall : 0.0;
 }
 
+namespace {
+
+/// Shared body of the per-seed line; `os` carries the manifest's fixed
+/// 6-digit float formatting so both callers emit identical bytes.
+void write_seed_line(std::ostream& os, const SeedTelemetry& s,
+                     bool include_timing) {
+  os << "{\"type\":\"seed\",\"index\":" << s.seed_index
+     << ",\"seed\":" << s.seed;
+  if (include_timing) {
+    os << ",\"wall_s\":" << s.wall_seconds;
+  }
+  os << ",\"events\":" << s.events_processed;
+  if (include_timing) {
+    os << ",\"events_per_sec\":" << s.events_per_sec;
+  }
+  os << ",\"frames_tx\":" << s.frames_tx << ",\"frames_rx\":" << s.frames_rx
+     << ",\"frames_lost\":" << s.frames_lost
+     << ",\"peak_queue_depth\":" << s.peak_queue_depth;
+  if (s.payload_acquires != 0) {
+    os << ",\"payload_acquires\":" << s.payload_acquires
+       << ",\"payload_slab_allocs\":" << s.payload_slab_allocs
+       << ",\"payload_peak_live\":" << s.payload_peak_live;
+  }
+  if (s.net_memory_bytes != 0 || s.routing_memory_bytes != 0 ||
+      s.servent_memory_bytes != 0) {
+    os << ",\"net_memory_bytes\":" << s.net_memory_bytes
+       << ",\"routing_memory_bytes\":" << s.routing_memory_bytes
+       << ",\"servent_memory_bytes\":" << s.servent_memory_bytes;
+  }
+  if (s.churn_deaths != 0 || s.invariant_violations != 0 ||
+      s.overlay_disrupted_s != 0.0) {
+    os << ",\"churn_deaths\":" << s.churn_deaths
+       << ",\"invariant_violations\":" << s.invariant_violations
+       << ",\"overlay_disrupted_s\":" << s.overlay_disrupted_s;
+  }
+  os << "}";
+}
+
+}  // namespace
+
+std::string seed_line_json(const SeedTelemetry& seed, bool include_timing) {
+  std::ostringstream os;
+  os.precision(6);
+  os << std::fixed;
+  write_seed_line(os, seed, include_timing);
+  return os.str();
+}
+
 std::string RunTelemetry::to_jsonl() const {
   std::ostringstream os;
   os.precision(6);
@@ -39,31 +87,8 @@ std::string RunTelemetry::to_jsonl() const {
   if (!cache_key_.empty()) os << ",\"cache_key\":\"" << cache_key_ << "\"";
   os << "}\n";
   for (const auto& s : seeds_) {
-    os << "{\"type\":\"seed\",\"index\":" << s.seed_index
-       << ",\"seed\":" << s.seed << ",\"wall_s\":" << s.wall_seconds
-       << ",\"events\":" << s.events_processed
-       << ",\"events_per_sec\":" << s.events_per_sec
-       << ",\"frames_tx\":" << s.frames_tx << ",\"frames_rx\":" << s.frames_rx
-       << ",\"frames_lost\":" << s.frames_lost
-       << ",\"peak_queue_depth\":" << s.peak_queue_depth;
-    if (s.payload_acquires != 0) {
-      os << ",\"payload_acquires\":" << s.payload_acquires
-         << ",\"payload_slab_allocs\":" << s.payload_slab_allocs
-         << ",\"payload_peak_live\":" << s.payload_peak_live;
-    }
-    if (s.net_memory_bytes != 0 || s.routing_memory_bytes != 0 ||
-        s.servent_memory_bytes != 0) {
-      os << ",\"net_memory_bytes\":" << s.net_memory_bytes
-         << ",\"routing_memory_bytes\":" << s.routing_memory_bytes
-         << ",\"servent_memory_bytes\":" << s.servent_memory_bytes;
-    }
-    if (s.churn_deaths != 0 || s.invariant_violations != 0 ||
-        s.overlay_disrupted_s != 0.0) {
-      os << ",\"churn_deaths\":" << s.churn_deaths
-         << ",\"invariant_violations\":" << s.invariant_violations
-         << ",\"overlay_disrupted_s\":" << s.overlay_disrupted_s;
-    }
-    os << "}\n";
+    write_seed_line(os, s, /*include_timing=*/true);
+    os << "\n";
   }
   return os.str();
 }

@@ -44,6 +44,14 @@ struct SeedTelemetry {
   double overlay_disrupted_s = 0.0;
 };
 
+/// One JSONL line for one seed, exactly the bytes RunTelemetry::to_jsonl
+/// emits for that seed (no trailing newline). With `include_timing` false
+/// the nondeterministic fields (wall_s, events_per_sec) are omitted — the
+/// serving daemon's wire format, where a line must be byte-identical
+/// whether the result was freshly computed or replayed from cache.
+std::string seed_line_json(const SeedTelemetry& seed,
+                           bool include_timing = true);
+
 /// Telemetry for one multi-seed experiment. Workers fill disjoint
 /// seed-indexed slots (no locking needed); the caller reads after the
 /// experiment returns.

@@ -1,0 +1,138 @@
+#include "serve/scheduler.hpp"
+
+#include "scenario/cache.hpp"
+#include "scenario/experiment.hpp"
+#include "scenario/telemetry.hpp"
+
+namespace p2p::serve {
+
+Scheduler::Scheduler(std::size_t workers, std::size_t max_queue,
+                     Metrics* metrics)
+    : metrics_(metrics),
+      max_queue_(max_queue),
+      cache_hits_(metrics->counter("cache_hits")),
+      cache_misses_(metrics->counter("cache_misses")),
+      dedup_joins_(metrics->counter("dedup_joins")),
+      queue_depth_(metrics->counter("queue_depth")),
+      in_flight_(metrics->counter("in_flight")),
+      worker_crashes_(metrics->counter("worker_crashes")),
+      runs_completed_(metrics->counter("runs_completed")),
+      overloads_(metrics->counter("overloads")) {
+  if (workers == 0) workers = 1;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Scheduler::~Scheduler() { stop(); }
+
+std::shared_future<SeedOutcome> Scheduler::submit(
+    const scenario::Parameters& params) {
+  const auto ready = [](SeedOutcome out) {
+    std::promise<SeedOutcome> p;
+    p.set_value(std::move(out));
+    return std::shared_future<SeedOutcome>(p.get_future());
+  };
+
+  std::string key = scenario::cache_key(params, 1);
+  std::unique_lock lock(mutex_);
+  if (stopping_) {
+    return ready({false, "scheduler shutting down", "shutdown"});
+  }
+  if (auto it = inflight_.find(key); it != inflight_.end()) {
+    dedup_joins_.add();
+    return it->second;
+  }
+  // Disk lookup under the lock: entries are a few hundred bytes, and
+  // holding the lock guarantees a concurrent duplicate either joins the
+  // in-flight future or sees the same hit — never schedules a second run.
+  std::string line;
+  if (scenario::load_cached_seed_line(params, &line)) {
+    cache_hits_.add();
+    return ready({true, std::move(line), {}});
+  }
+  if (queue_.size() >= max_queue_) {
+    overloads_.add();
+    return ready({false, "queue full, retry later", "overloaded"});
+  }
+  cache_misses_.add();
+  Job job;
+  job.key = key;
+  job.params = params;
+  auto future = job.promise.get_future().share();
+  inflight_.emplace(std::move(key), future);
+  queue_.push_back(std::move(job));
+  queue_depth_.add();
+  lock.unlock();
+  work_ready_.notify_one();
+  return future;
+}
+
+void Scheduler::worker_loop() {
+  for (;;) {
+    std::unique_lock lock(mutex_);
+    work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (stopping_) return;  // queued jobs resolve as "shutdown" in stop()
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    queue_depth_.sub();
+    in_flight_.add();
+    lock.unlock();
+
+    SeedOutcome out = run_job(job.params);
+    if (out.ok) scenario::store_cached_seed_line(job.params, out.line);
+
+    // Publish-then-unregister order matters: once the key leaves the
+    // in-flight table a duplicate goes to the disk cache, so the store
+    // above must already be visible. Failed runs are never cached — a
+    // retry after the erase recomputes.
+    lock.lock();
+    inflight_.erase(job.key);
+    in_flight_.sub();
+    lock.unlock();
+    job.promise.set_value(std::move(out));
+  }
+}
+
+SeedOutcome Scheduler::run_job(const scenario::Parameters& params) {
+  SeedOutcome out;
+  try {
+    scenario::SeedTelemetry telemetry;
+    scenario::run_single_seed(params, &telemetry);
+    out.ok = true;
+    // Timing-free serialization: the line must be byte-identical whether
+    // freshly computed or replayed from cache (see docs/serving.md).
+    out.line = scenario::seed_line_json(telemetry, /*include_timing=*/false);
+    runs_completed_.add();
+  } catch (const std::exception& e) {
+    worker_crashes_.add();
+    out.ok = false;
+    out.line = e.what();
+    out.code = "run_failed";
+  }
+  return out;
+}
+
+void Scheduler::stop() {
+  std::deque<Job> orphans;
+  {
+    std::scoped_lock lock(mutex_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+  {
+    std::scoped_lock lock(mutex_);
+    orphans.swap(queue_);
+    inflight_.clear();
+    queue_depth_.sub(queue_depth_.value());
+  }
+  for (auto& job : orphans) {
+    job.promise.set_value({false, "scheduler shutting down", "shutdown"});
+  }
+}
+
+}  // namespace p2p::serve

@@ -1,0 +1,93 @@
+// Admission/dedup scheduler for the p2pd serving daemon.
+//
+// The unit of work is one (config, seed) simulation — the daemon's whole
+// reason to exist is that thousands of concurrent requests collapse onto
+// a small set of distinct units. Dedup happens at two levels:
+//   1. in-process: an in-flight table keyed by the canonical parameter
+//      hash; a duplicate submitted while the first copy computes joins
+//      its future instead of queueing a second run;
+//   2. on disk: the checksummed per-seed cache (scenario/cache.hpp),
+//      shared with batch benches and other daemon processes; the atomic
+//      rename publish means racing writers are safe.
+// Misses run on a bounded pool of `workers` threads through
+// scenario::run_single_seed — the same crash-isolated body as the batch
+// experiment driver, so a run that throws becomes a structured per-seed
+// error, never a dead worker. The pool makes progress at workers == 1
+// (jobs never block on other jobs; a session waits on futures, not the
+// other way around).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "scenario/parameters.hpp"
+#include "serve/metrics.hpp"
+
+namespace p2p::serve {
+
+/// Result of one (config, seed) unit: the served JSONL seed line, or a
+/// machine-readable error code + human message.
+struct SeedOutcome {
+  bool ok = false;
+  std::string line;   // seed line when ok, human-readable error otherwise
+  std::string code;   // empty when ok; "run_failed" | "overloaded" | "shutdown"
+};
+
+class Scheduler {
+ public:
+  /// `workers` >= 1 compute threads; `max_queue` bounds admitted-but-not-
+  /// started jobs (beyond it, submissions fail fast with "overloaded").
+  Scheduler(std::size_t workers, std::size_t max_queue, Metrics* metrics);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Schedule (or join, or answer from cache) the unit identified by
+  /// `params` (params.seed is the seed). Never blocks on compute — the
+  /// returned future resolves when the unit is served.
+  std::shared_future<SeedOutcome> submit(const scenario::Parameters& params);
+
+  /// Stop workers; pending jobs resolve with code "shutdown".
+  void stop();
+
+ private:
+  struct Job {
+    std::string key;
+    scenario::Parameters params;
+    std::promise<SeedOutcome> promise;
+  };
+
+  void worker_loop();
+  SeedOutcome run_job(const scenario::Parameters& params);
+
+  Metrics* metrics_;
+  std::size_t max_queue_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::deque<Job> queue_;
+  // key -> future of the in-flight (queued or computing) unit.
+  std::map<std::string, std::shared_future<SeedOutcome>> inflight_;
+  bool stopping_ = false;
+
+  std::vector<std::thread> workers_;
+
+  Counter& cache_hits_;
+  Counter& cache_misses_;
+  Counter& dedup_joins_;
+  Counter& queue_depth_;
+  Counter& in_flight_;
+  Counter& worker_crashes_;
+  Counter& runs_completed_;
+  Counter& overloads_;
+};
+
+}  // namespace p2p::serve

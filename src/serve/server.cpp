@@ -1,0 +1,85 @@
+#include "serve/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <thread>
+
+namespace p2p::serve {
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      scheduler_(options_.workers, options_.max_queue, &metrics_) {
+  // Pre-register the connection counter so STATS shows it at zero before
+  // the first accept (scheduler/session counters register the same way).
+  metrics_.counter("connections");
+}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* error) {
+  const auto fail = [&](const char* what) {
+    if (error) *error = std::string(what) + ": " + std::strerror(errno);
+    return false;
+  };
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof addr.sun_path) {
+    if (error) *error = "socket path too long: " + options_.socket_path;
+    return false;
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  // A write to a vanished client must surface as EPIPE, not kill the
+  // daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return fail("socket");
+  ::unlink(options_.socket_path.c_str());  // stale socket from a dead daemon
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    return fail("bind");
+  }
+  if (::listen(fd, 64) < 0) {
+    ::close(fd);
+    return fail("listen");
+  }
+  listen_fd_.store(fd);
+  return true;
+}
+
+void Server::run() {
+  Counter& connections = metrics_.counter("connections");
+  for (;;) {
+    const int lfd = listen_fd_.load();
+    if (lfd < 0) return;
+    const int cfd = ::accept(lfd, nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket closed by stop()
+    }
+    connections.add();
+    std::thread([this, cfd] {
+      run_session(cfd, &scheduler_, &metrics_, options_.limits);
+      ::close(cfd);
+    }).detach();
+  }
+}
+
+void Server::stop() {
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    ::close(fd);
+    ::unlink(options_.socket_path.c_str());
+  }
+  scheduler_.stop();
+}
+
+}  // namespace p2p::serve

@@ -1,0 +1,56 @@
+// Unix-domain-socket front end of the p2pd serving daemon.
+//
+// Owns the listen socket, the metrics registry, and the scheduler; each
+// accepted connection gets a detached session thread running the
+// newline-delimited JSON protocol (serve/session.hpp). The daemon is
+// deliberately local-only — AF_UNIX means the trust boundary is file
+// permissions on the socket path, not a network surface.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+#include "serve/metrics.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/session.hpp"
+
+namespace p2p::serve {
+
+struct ServerOptions {
+  std::string socket_path;      // AF_UNIX path (sun_path limit ~107 bytes)
+  std::size_t workers = 1;      // compute threads (container default: 1 core)
+  std::size_t max_queue = 64;   // admitted-but-unstarted units before "overloaded"
+  SessionLimits limits;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen (unlinking a stale socket file first) and ignore
+  /// SIGPIPE process-wide. False + `error` on failure.
+  bool start(std::string* error);
+
+  /// Accept loop; blocks until stop() closes the listen socket. Each
+  /// connection is served on its own detached thread.
+  void run();
+
+  void stop();
+
+  Metrics& metrics() noexcept { return metrics_; }
+  Scheduler& scheduler() noexcept { return scheduler_; }
+  const ServerOptions& options() const noexcept { return options_; }
+
+ private:
+  ServerOptions options_;
+  Metrics metrics_;
+  Scheduler scheduler_;
+  std::atomic<int> listen_fd_{-1};
+};
+
+}  // namespace p2p::serve

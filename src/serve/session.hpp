@@ -1,0 +1,75 @@
+// Per-connection protocol handler for the p2pd serving daemon.
+//
+// One session speaks newline-delimited JSON over one byte stream:
+//
+//   request:  {"config": {<ini overrides>}, "seeds": [1,2,3],
+//              "fields": ["seed","queries_sent"]}       (one line)
+//   verb:     STATS                                     (bare line)
+//
+//   response: one line per requested seed, ascending — either the
+//             deterministic telemetry line (optionally projected to the
+//             requested fields) or {"type":"error","seed":S,...} — then a
+//             {"type":"done",...} trailer. Request-level failures produce
+//             a single {"type":"error","code":...} line and no trailer.
+//
+// Session is deliberately transport-free: handle_line() consumes one
+// input line and emits response lines through a caller-supplied WriteFn,
+// so tests and the serve_smoke bench drive the full protocol in-process
+// while the daemon wraps it around a socket (run_session below).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "serve/metrics.hpp"
+#include "serve/scheduler.hpp"
+
+namespace p2p::serve {
+
+struct SessionLimits {
+  std::size_t max_line = 1 << 20;  // bytes per request line, incl. newline
+  std::size_t max_seeds = 256;     // seeds per request
+};
+
+class Session {
+ public:
+  /// Emits one response line (no trailing newline); returns false when the
+  /// peer is gone and the session should end.
+  using WriteFn = std::function<bool(std::string_view)>;
+
+  Session(Scheduler* scheduler, Metrics* metrics, SessionLimits limits,
+          WriteFn write);
+
+  /// Process one input line (already stripped of the newline). Returns
+  /// false when the session should end (write failure); protocol errors
+  /// return true — the daemon answers them and keeps serving.
+  bool handle_line(std::string_view line);
+
+  /// Emit the structured line for an over-long request (the read loop
+  /// detects the condition; the session owns the wire format).
+  bool reject_oversized_line();
+
+ private:
+  bool emit_error(std::string_view code, std::string_view message);
+
+  Scheduler* scheduler_;
+  Metrics* metrics_;
+  SessionLimits limits_;
+  WriteFn write_;
+
+  Counter& requests_;
+  Counter& stats_requests_;
+  Counter& seed_results_;
+  Counter& request_errors_;
+};
+
+/// Blocking read loop for one accepted connection: buffered line reads,
+/// over-long lines answered with a structured error and drained to the
+/// next newline (the session survives). Returns when the peer closes or
+/// a write fails. Does not close `fd`.
+void run_session(int fd, Scheduler* scheduler, Metrics* metrics,
+                 const SessionLimits& limits);
+
+}  // namespace p2p::serve

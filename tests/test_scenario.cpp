@@ -80,6 +80,82 @@ TEST(Parameters, ApplyRejectsBadValues) {
   EXPECT_NE(Parameters{}.apply(config3), "");
 }
 
+TEST(Parameters, ApplyRejectsUnknownKeys) {
+  // Daemon hardening: a typo'd key used to silently keep the default —
+  // the worst failure mode for network-supplied configs. It must be a
+  // named error now, and the message must point at the offending key.
+  util::Config config;
+  config.set("num_nodez", "150");
+  const std::string err = Parameters{}.apply(config);
+  ASSERT_NE(err, "");
+  EXPECT_NE(err.find("num_nodez"), std::string::npos) << err;
+}
+
+TEST(Parameters, ApplyRejectsUnparsableValues) {
+  // Same rationale: "fifty" used to parse as "keep the default". Every
+  // typed getter must report the key and the rejected text.
+  const auto expect_rejects = [](const char* key, const char* value) {
+    util::Config config;
+    config.set(key, value);
+    const std::string err = Parameters{}.apply(config);
+    ASSERT_NE(err, "") << key << "=" << value << " was accepted";
+    EXPECT_NE(err.find(key), std::string::npos) << err;
+    EXPECT_NE(err.find(value), std::string::npos) << err;
+  };
+  expect_rejects("num_nodes", "fifty");
+  expect_rejects("duration_s", "1h");
+  expect_rejects("seed", "-3");
+  expect_rejects("mobile", "maybe");
+  expect_rejects("maxnconn", "3.5");
+}
+
+TEST(Parameters, ApplyRejectsOutOfRangeValues) {
+  const auto expect_rejects = [](const char* key, const char* value) {
+    util::Config config;
+    config.set(key, value);
+    EXPECT_NE(Parameters{}.apply(config), "")
+        << key << "=" << value << " was accepted";
+  };
+  expect_rejects("area_width", "0");
+  expect_rejects("radio_range", "-5");
+  expect_rejects("duration_s", "0");
+  expect_rejects("max_frequency", "0");
+  expect_rejects("mac_loss_probability", "1.01");
+  expect_rejects("mac_bandwidth_bps", "0");
+  expect_rejects("battery_j", "-1");
+  expect_rejects("loss_burst_loss", "2");
+  expect_rejects("num_files", "0");
+  expect_rejects("sim_threads", "0");
+  expect_rejects("churn_rate", "-0.5");
+  // min_speed > max_speed (default max_speed = 1.0).
+  expect_rejects("min_speed", "5");
+}
+
+TEST(Parameters, ApplyReportsFirstProblemAndAppliesNothingAfter) {
+  // A config with both a bad value and a later unknown key reports the
+  // parse problem (getters run first), not a misleading unknown-key
+  // message for something it never got to.
+  util::Config config;
+  config.set("num_nodes", "abc");
+  config.set("zzz_unknown", "1");
+  const std::string err = Parameters{}.apply(config);
+  ASSERT_NE(err, "");
+  EXPECT_NE(err.find("num_nodes"), std::string::npos) << err;
+}
+
+TEST(Parameters, CrashRunAtRequiresSequentialExecution) {
+  util::Config config;
+  config.set("crash_run_at", "10");
+  config.set("sim_shards", "4");
+  EXPECT_NE(Parameters{}.apply(config), "");
+
+  util::Config sequential;
+  sequential.set("crash_run_at", "10");
+  Parameters params;
+  EXPECT_EQ(params.apply(sequential), "");
+  EXPECT_TRUE(params.fault.crash_run_enabled());
+}
+
 TEST(Parameters, SummaryMentionsKeyFacts) {
   const Parameters params;
   const std::string s = params.summary();

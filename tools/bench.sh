@@ -3,10 +3,11 @@
 #
 # Record mode: build the bench preset, run the harness suites (hotpath's
 # kernel + wireless storms, the aodv_storm route-discovery storm, the
-# overlay_storm full-stack tier, and the megascale 10k-100k tier), and
-# append one JSON record per benchmark to BENCH_kernel.json,
-# BENCH_hotpath.json, BENCH_overlay.json and BENCH_megascale.json at the
-# repo root (JSON Lines; see docs/performance.md).
+# overlay_storm full-stack tier, the megascale 10k-100k tier, and the
+# serve_smoke daemon front-end tier), and append one JSON record per
+# benchmark to BENCH_kernel.json, BENCH_hotpath.json, BENCH_overlay.json,
+# BENCH_megascale.json and BENCH_serve.json at the repo root (JSON Lines;
+# see docs/performance.md).
 #
 # Compare mode: read those JSONL files back and print per-bench throughput
 # deltas between two labels, failing when anything regressed — so a perf
@@ -60,7 +61,8 @@ if [ "${1:-}" = "--compare" ]; then
   # the first time the overlay tier is recorded).
   set --
   for f in "$repo/BENCH_kernel.json" "$repo/BENCH_hotpath.json" \
-           "$repo/BENCH_overlay.json" "$repo/BENCH_megascale.json"; do
+           "$repo/BENCH_overlay.json" "$repo/BENCH_megascale.json" \
+           "$repo/BENCH_serve.json"; do
     [ -f "$f" ] && set -- "$@" "$f"
   done
   if [ $# -eq 0 ]; then
@@ -241,7 +243,7 @@ label="${1:-$(git -C "$repo" rev-parse --short HEAD 2>/dev/null || echo dev)}"
 
 cmake --preset bench -S "$repo" >/dev/null
 cmake --build --preset bench -j --target hotpath --target aodv_storm \
-  --target overlay_storm --target megascale >/dev/null
+  --target overlay_storm --target megascale --target serve_smoke >/dev/null
 
 "$repo/build-bench/bench/hotpath" --suite kernel --label "$label" \
   --out "$repo/BENCH_kernel.json"
@@ -253,4 +255,11 @@ cmake --build --preset bench -j --target hotpath --target aodv_storm \
   --out "$repo/BENCH_overlay.json"
 "$repo/build-bench/bench/megascale" --label "$label" \
   --out "$repo/BENCH_megascale.json"
-echo "appended records labeled '$label' to BENCH_kernel.json / BENCH_hotpath.json / BENCH_overlay.json / BENCH_megascale.json"
+# Serving tier: requests/s through the daemon front end against a warm
+# cache (a throwaway cache dir keeps the record independent of whatever
+# the figure benches have cached).
+serve_cache="$(mktemp -d)"
+P2P_BENCH_CACHE="$serve_cache" "$repo/build-bench/bench/serve_smoke" \
+  --label "$label" --out "$repo/BENCH_serve.json"
+rm -rf "$serve_cache"
+echo "appended records labeled '$label' to BENCH_kernel.json / BENCH_hotpath.json / BENCH_overlay.json / BENCH_megascale.json / BENCH_serve.json"

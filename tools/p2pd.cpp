@@ -1,0 +1,135 @@
+// p2pd — experiment-serving daemon (and its line-mode client).
+//
+//   p2pd --socket PATH [--workers N] [--max-queue N] [--max-seeds N]
+//   p2pd --client --socket PATH
+//
+// Daemon mode binds a Unix-domain socket and serves the newline-delimited
+// JSON protocol documented in docs/serving.md. Client mode connects to a
+// running daemon, forwards stdin line-by-line, and prints every response
+// line until the peer closes — so scripts (tools/p2pd_client.sh) need no
+// nc/socat. Client exit status: 0 on clean close, 1 on connect failure.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "serve/server.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --socket PATH [--workers N] [--max-queue N] [--max-seeds N]\n"
+               "       " << argv0 << " --client --socket PATH\n";
+  return 2;
+}
+
+int connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) return -1;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool write_all(int fd, const char* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::write(fd, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Forward stdin to the daemon, then half-close and stream responses until
+// the daemon closes. Requests are sent up front (the protocol is
+// line-oriented and the daemon answers in order), which keeps the client
+// a straight pipe with no select loop.
+int run_client(const std::string& socket_path) {
+  const int fd = connect_unix(socket_path);
+  if (fd < 0) {
+    std::cerr << "p2pd: cannot connect to " << socket_path << ": "
+              << std::strerror(errno) << "\n";
+    return 1;
+  }
+  std::signal(SIGPIPE, SIG_IGN);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    line += '\n';
+    if (!write_all(fd, line.data(), line.size())) break;
+  }
+  ::shutdown(fd, SHUT_WR);
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    std::cout.write(chunk, n);
+  }
+  std::cout.flush();
+  ::close(fd);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using p2p::util::parse_int;
+
+  p2p::serve::ServerOptions options;
+  bool client = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--client") {
+      client = true;
+    } else if (arg == "--socket") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      options.socket_path = v;
+    } else if (arg == "--workers" || arg == "--max-queue" ||
+               arg == "--max-seeds") {
+      const char* v = next();
+      const auto n = v ? parse_int(v) : std::nullopt;
+      if (!n || *n <= 0) return usage(argv[0]);
+      if (arg == "--workers") options.workers = static_cast<std::size_t>(*n);
+      else if (arg == "--max-queue") options.max_queue = static_cast<std::size_t>(*n);
+      else options.limits.max_seeds = static_cast<std::size_t>(*n);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (options.socket_path.empty()) return usage(argv[0]);
+  if (client) return run_client(options.socket_path);
+
+  p2p::serve::Server server(std::move(options));
+  std::string error;
+  if (!server.start(&error)) {
+    std::cerr << "p2pd: " << error << "\n";
+    return 1;
+  }
+  std::cerr << "p2pd: serving on " << server.options().socket_path << " ("
+            << server.options().workers << " worker"
+            << (server.options().workers == 1 ? "" : "s") << ")\n";
+  server.run();
+  return 0;
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# p2pd_client.sh — talk to a running p2pd daemon from the shell.
+#
+#   tools/p2pd_client.sh /tmp/p2pd.sock '{"config":{"num_nodes":30},"seeds":[1,2]}'
+#   tools/p2pd_client.sh /tmp/p2pd.sock STATS
+#   echo '{"seeds":[7]}' | tools/p2pd_client.sh /tmp/p2pd.sock
+#
+# Requests come from $2 (one line) or stdin (any number of lines);
+# responses stream to stdout. Uses `p2pd --client` (set P2PD_BIN to point
+# at the binary; defaults to ./build/tools/p2pd), so no nc/socat needed.
+set -eu
+
+if [ "$#" -lt 1 ]; then
+  echo "usage: $0 SOCKET_PATH [REQUEST_LINE]" >&2
+  exit 2
+fi
+
+sock=$1
+bin=${P2PD_BIN:-./build/tools/p2pd}
+
+if [ ! -x "$bin" ]; then
+  echo "$0: p2pd binary not found at $bin (set P2PD_BIN)" >&2
+  exit 1
+fi
+
+if [ "$#" -ge 2 ]; then
+  printf '%s\n' "$2" | "$bin" --client --socket "$sock"
+else
+  "$bin" --client --socket "$sock"
+fi
