@@ -25,8 +25,12 @@
 //                    machine-width dependent, so also not guarded.
 //
 // Usage: megascale [--label NAME] [--out FILE] [--smoke] [--repeat N]
+//                  [--ladder-min N]
 // --smoke runs a single bounded 10k-node slice (the `mega` ctest + the
-// bench_guard counter pin); full mode runs 10k/50k/100k.
+// bench_guard counter pin); full mode runs 10k/50k/100k. --ladder-min
+// moves the event-queue backend crossover (0 = ladder everywhere, huge =
+// heap everywhere) for heap-vs-ladder A/B runs; it must never change a
+// fixed-seed counter, only wall_s.
 #include <cmath>
 #include <cstdint>
 #include <string>
@@ -45,8 +49,9 @@ using bench::Options;
 using bench::Record;
 
 scenario::Parameters make_params(std::size_t nodes, double sim_seconds,
-                                 std::size_t sim_threads,
-                                 std::size_t sim_shards) {
+                                 const Options& opt) {
+  const std::size_t sim_threads = opt.sim_threads;
+  const std::size_t sim_shards = opt.sim_shards;
   scenario::Parameters p;
   p.algorithm = core::AlgorithmKind::kRegular;
   p.num_nodes = nodes;
@@ -78,19 +83,20 @@ scenario::Parameters make_params(std::size_t nodes, double sim_seconds,
   } else if (sim_threads > 1) {
     p.sim_shards = nodes >= 8192 ? 64 : 16;
   }
+  // Backend A/B override (--ladder-min): move the heap/ladder crossover
+  // for this run. Counters must not move with it — only wall_s may.
+  if (opt.ladder_min_set) p.ladder_queue_min_nodes = opt.ladder_min;
   return p;
 }
 
 Record bench_megascale(const std::string& bench_name, std::size_t nodes,
-                       double sim_seconds, int repeat,
-                       std::size_t sim_threads, std::size_t sim_shards) {
+                       double sim_seconds, int repeat, const Options& opt) {
   Record rec;
   rec.bench = bench_name;
   rec.ops_name = "frames";
   rec.wall_s = 1e100;
-  const scenario::Parameters params =
-      make_params(nodes, sim_seconds, sim_threads, sim_shards);
-  rec.threads = sim_threads;
+  const scenario::Parameters params = make_params(nodes, sim_seconds, opt);
+  rec.threads = opt.sim_threads;
   rec.sim_shards = params.effective_sim_shards() > 1
                        ? params.effective_sim_shards()
                        : 0;
@@ -135,7 +141,7 @@ int main(int argc, char** argv) {
     // up to query_gap_max (45 s) after join and finalizes only after the
     // 30 s response window.
     bench::emit(bench_megascale("megascale.smoke", 10000, 75.0, opt.repeat,
-                                opt.sim_threads, opt.sim_shards),
+                                opt),
                 opt);
     if (opt.sim_threads <= 1 && opt.sim_shards == 0) {
       // Sharded smoke (plain --smoke invocations only, so a --threads
@@ -144,8 +150,11 @@ int main(int argc, char** argv) {
       // pinned). Its counters are fixed-seed reproducible like everything
       // else here, so bench_guard pins the sharded event history in
       // tier-1 too, at roughly half the cost of the sequential smoke.
+      Options sharded = opt;
+      sharded.sim_threads = 4;
+      sharded.sim_shards = 16;
       bench::emit(bench_megascale("megascale.smoke_sharded", 5000, 75.0,
-                                  opt.repeat, 4, 16),
+                                  opt.repeat, sharded),
                   opt);
     }
     return 0;
@@ -165,11 +174,11 @@ int main(int argc, char** argv) {
       {"megascale.100k", 100000, 90.0},
   };
   for (const Scale& s : scales) {
-    // Single repetition per scale: a 100k-node world is minutes of wall
-    // time, and the counters (everything but wall_s) are fixed-seed
-    // reproducible anyway.
-    bench::emit(bench_megascale(s.name, s.nodes, s.sim_seconds, 1,
-                                opt.sim_threads, opt.sim_shards),
+    // wall_s is best-of---repeat like every other tier; counters are
+    // fixed-seed reproducible regardless. Use --repeat 1 when a quick
+    // single pass is enough — a 100k-node world is ~a minute per rep.
+    bench::emit(bench_megascale(s.name, s.nodes, s.sim_seconds, opt.repeat,
+                                opt),
                 opt);
   }
   return 0;

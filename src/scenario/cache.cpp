@@ -241,6 +241,14 @@ std::string canonical_parameters(const Parameters& p, std::size_t num_seeds) {
   if (p.effective_sim_shards() > 1) {
     put(os, "sim_shards", static_cast<std::uint64_t>(p.effective_sim_shards()));
   }
+  // The event-queue backend gate never changes results (both backends pop
+  // in the identical (time, seq) order), but a pinned non-default value is
+  // still recorded so a sweep that overrides it gets distinct manifests.
+  // Non-default-only: existing cache entries keep their keys.
+  if (p.ladder_queue_min_nodes != Parameters{}.ladder_queue_min_nodes) {
+    put(os, "ladder_queue_min_nodes",
+        static_cast<std::uint64_t>(p.ladder_queue_min_nodes));
+  }
   put(os, "num_seeds", static_cast<std::uint64_t>(num_seeds));
   return os.str();
 }

@@ -72,6 +72,13 @@ SeedTelemetry make_seed_telemetry(std::size_t seed_index, std::uint64_t seed,
   t.frames_rx = run.frames_delivered;
   t.frames_lost = run.frames_lost;
   t.peak_queue_depth = run.peak_queue_depth;
+  t.queue_pushes = run.queue_pushes;
+  t.queue_pops = run.queue_pops;
+  t.queue_tombstones_purged = run.queue_tombstones_purged;
+  t.queue_compactions = run.queue_compactions;
+  t.queue_ladder_spills = run.queue_ladder_spills;
+  t.queue_ladder_rebuckets = run.queue_ladder_rebuckets;
+  t.queue_peak_raw = run.queue_peak_raw;
   t.payload_acquires = run.payload_acquires;
   t.payload_slab_allocs = run.payload_slab_allocs;
   t.payload_peak_live = run.payload_peak_live;

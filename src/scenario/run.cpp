@@ -30,6 +30,14 @@ void SimulationRun::build() {
   P2P_ASSERT_MSG(!built_, "build() called twice");
   built_ = true;
 
+  // Backend choice must precede the first scheduled event (joins, mobility
+  // samplers and routing agents below all push). Every shard Simulator
+  // gets the same choice so thread sweeps compare identical executions.
+  const sim::QueueBackend queue_backend = params_.use_ladder_queue()
+                                              ? sim::QueueBackend::kLadder
+                                              : sim::QueueBackend::kHeap;
+  sim_.set_queue_backend(queue_backend);
+
   num_shards_ = params_.effective_sim_shards();
   if (num_shards_ > 1) {
     // The invariant checker is a per-frame NetObserver — incompatible with
@@ -39,6 +47,7 @@ void SimulationRun::build() {
     shard_sims_.reserve(num_shards_);
     for (std::size_t s = 0; s < num_shards_; ++s) {
       shard_sims_.push_back(std::make_unique<sim::Simulator>());
+      shard_sims_.back()->set_queue_backend(queue_backend);
     }
   }
 
@@ -503,9 +512,21 @@ RunResult SimulationRun::collect() {
   // (and in practice track) total resident events.
   result.events_processed = sim_.events_processed();
   result.peak_queue_depth = sim_.peak_events_pending();
+  const auto add_queue_stats = [&result](const sim::Simulator& s) {
+    const sim::EventQueue::Stats& q = s.queue_stats();
+    result.queue_pushes += s.events_scheduled();
+    result.queue_pops += q.pops;
+    result.queue_tombstones_purged += q.tombstones_purged;
+    result.queue_compactions += q.compactions;
+    result.queue_ladder_spills += q.ladder_spills;
+    result.queue_ladder_rebuckets += q.ladder_rebuckets;
+    result.queue_peak_raw += s.peak_raw_events_pending();
+  };
+  add_queue_stats(sim_);
   for (const auto& shard : shard_sims_) {
     result.events_processed += shard->events_processed();
     result.peak_queue_depth += shard->peak_events_pending();
+    add_queue_stats(*shard);
   }
 
   result.net_memory_bytes = network_->memory_bytes();

@@ -72,7 +72,22 @@ struct RunResult {
   std::uint64_t frames_lost = 0;
   double energy_consumed_j = 0.0;
   std::uint64_t events_processed = 0;
-  std::size_t peak_queue_depth = 0;  // event-queue high-water mark
+  std::size_t peak_queue_depth = 0;  // event-queue high-water mark (live)
+
+  // Event-queue operation counters, summed over the main Simulator and
+  // every shard (sim::EventQueue::Stats). Fixed-seed deterministic and
+  // thread-count invariant — the pop order, and hence every push/pop/
+  // cancel a run performs, is identical across backends and thread
+  // counts. queue_peak_raw is the physical-storage high-water mark
+  // (tombstones included; backend-dependent purge timing, unlike the
+  // live peak_queue_depth above).
+  std::uint64_t queue_pushes = 0;
+  std::uint64_t queue_pops = 0;
+  std::uint64_t queue_tombstones_purged = 0;
+  std::uint64_t queue_compactions = 0;
+  std::uint64_t queue_ladder_spills = 0;
+  std::uint64_t queue_ladder_rebuckets = 0;
+  std::size_t queue_peak_raw = 0;
 
   // Routing totals (protocol-independent; see RoutingService::Telemetry).
   std::uint64_t routing_control_messages = 0;

@@ -46,6 +46,15 @@ void write_seed_line(std::ostream& os, const SeedTelemetry& s,
   os << ",\"frames_tx\":" << s.frames_tx << ",\"frames_rx\":" << s.frames_rx
      << ",\"frames_lost\":" << s.frames_lost
      << ",\"peak_queue_depth\":" << s.peak_queue_depth;
+  if (s.queue_pushes != 0) {
+    os << ",\"queue_pushes\":" << s.queue_pushes
+       << ",\"queue_pops\":" << s.queue_pops
+       << ",\"queue_tombstones_purged\":" << s.queue_tombstones_purged
+       << ",\"queue_compactions\":" << s.queue_compactions
+       << ",\"queue_ladder_spills\":" << s.queue_ladder_spills
+       << ",\"queue_ladder_rebuckets\":" << s.queue_ladder_rebuckets
+       << ",\"queue_peak_raw\":" << s.queue_peak_raw;
+  }
   if (s.payload_acquires != 0) {
     os << ",\"payload_acquires\":" << s.payload_acquires
        << ",\"payload_slab_allocs\":" << s.payload_slab_allocs

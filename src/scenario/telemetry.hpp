@@ -24,7 +24,20 @@ struct SeedTelemetry {
   std::uint64_t frames_tx = 0;
   std::uint64_t frames_rx = 0;
   std::uint64_t frames_lost = 0;
-  std::size_t peak_queue_depth = 0;  // event-queue high-water mark
+  std::size_t peak_queue_depth = 0;  // event-queue high-water mark (live)
+  // Event-queue operation counters (RunResult::queue_*; zero only before
+  // the run scheduled anything, so the block is emitted to the manifest
+  // only when queue_pushes is non-zero and pre-queue-telemetry manifests
+  // stay byte-stable). Fixed-seed deterministic and thread-count
+  // invariant; the ladder/compaction counters depend on the backend the
+  // run selected (scenario::Parameters::ladder_queue_min_nodes).
+  std::uint64_t queue_pushes = 0;
+  std::uint64_t queue_pops = 0;
+  std::uint64_t queue_tombstones_purged = 0;
+  std::uint64_t queue_compactions = 0;
+  std::uint64_t queue_ladder_spills = 0;
+  std::uint64_t queue_ladder_rebuckets = 0;
+  std::size_t queue_peak_raw = 0;
   // Payload-pool accounting (zero only when the run sent no overlay
   // messages; emitted to the manifest only when non-zero so pre-pool
   // manifests stay byte-stable). Thread-count invariant.

@@ -27,6 +27,13 @@
 // it alone with all shards quiesced (every shard event before g has
 // executed, none at or after g has). Ties (g == m) run the global event
 // first — one fixed rule, same on every thread count.
+//
+// Queue backends: every Simulator here (global and shards) runs whichever
+// pending-set container the scenario selected (sim::QueueBackend — the
+// run layer applies one choice uniformly before anything is scheduled).
+// Nothing above depends on the container: both backends pop the identical
+// strict (time, seq) order, so the window schedule, barrier exchanges and
+// RNG draw sequences are byte-for-byte the same on heap and ladder.
 #pragma once
 
 #include <atomic>

@@ -19,6 +19,16 @@ class Simulator {
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
+  /// Choose the pending-set container (see QueueBackend). Must be called
+  /// before anything is scheduled; every shard Simulator of a sharded run
+  /// gets the same choice so thread sweeps compare identical executions
+  /// (the pop order is bit-identical either way — this only moves the
+  /// constant-factor/asymptotic tradeoff).
+  void set_queue_backend(QueueBackend backend) {
+    queue_.set_backend(backend);
+  }
+  QueueBackend queue_backend() const noexcept { return queue_.backend(); }
+
   SimTime now() const noexcept { return now_; }
 
   /// Schedule at an absolute time. Times in the past are clamped to now()
@@ -62,6 +72,16 @@ class Simulator {
   std::size_t events_pending() const noexcept { return queue_.size(); }
   std::uint64_t events_scheduled() const noexcept { return queue_.total_scheduled(); }
   std::size_t peak_events_pending() const noexcept { return queue_.peak_size(); }
+  /// Physical-storage high-water mark (tombstones included); the live
+  /// counterpart is peak_events_pending().
+  std::size_t peak_raw_events_pending() const noexcept {
+    return queue_.peak_raw_size();
+  }
+  /// Queue operation counters (pops, purges, compactions, ladder
+  /// spills/re-buckets); fixed-seed deterministic.
+  const EventQueue::Stats& queue_stats() const noexcept {
+    return queue_.stats();
+  }
 
  private:
   EventQueue queue_;

@@ -3,9 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <map>
+#include <tuple>
 #include <vector>
 
+#include "core/params.hpp"
+#include "scenario/parameters.hpp"
+#include "scenario/run.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 
@@ -191,12 +196,14 @@ TEST(EventQueue, PopAfterMassCancelFindsTheSurvivor) {
 }
 
 // Property: under random interleavings of push/cancel/pop, the queue
-// behaves exactly like a sorted reference model.
-class EventQueueModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+// behaves exactly like a sorted reference model — on both backends.
+class EventQueueModelTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, p2p::sim::QueueBackend>> {};
 
 TEST_P(EventQueueModelTest, MatchesReferenceModel) {
-  p2p::sim::RngStream rng(GetParam());
-  EventQueue queue;
+  p2p::sim::RngStream rng(std::get<0>(GetParam()));
+  EventQueue queue(std::get<1>(GetParam()));
   // Reference: map from (time, push order) to id, mirroring live events.
   // Ties at equal time break by push order — the FIFO contract — NOT by id
   // value (ids are opaque handles and may be recycled internally).
@@ -240,7 +247,207 @@ TEST_P(EventQueueModelTest, MatchesReferenceModel) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueModelTest,
-                         ::testing::Values(1, 2, 3, 7, 42, 1234));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, EventQueueModelTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 7, 42, 1234),
+                       ::testing::Values(p2p::sim::QueueBackend::kHeap,
+                                         p2p::sim::QueueBackend::kLadder)));
+
+// --- Ladder backend: differential equivalence with the 4-ary heap. The
+// --- strict (time, seq) total order fixes the pop sequence, so the two
+// --- backends must agree element for element — including FIFO among
+// --- equal-time ties — under tens of thousands of randomized ops.
+
+TEST(EventQueueLadder, PopSequenceIsIdenticalToHeap) {
+  // Named stream so the op sequence is pinned independently of any other
+  // RNG consumer (docs/determinism.md).
+  p2p::sim::RngManager rngs(20260809);
+  p2p::sim::RngStream rng = rngs.stream("queue-differential");
+  EventQueue heap(p2p::sim::QueueBackend::kHeap);
+  EventQueue ladder(p2p::sim::QueueBackend::kLadder);
+  std::vector<EventId> heap_ids, ladder_ids;  // parallel live handles
+
+  std::uint64_t pops = 0, ties = 0;
+  double recent_time = 1.0;
+  for (int step = 0; step < 50000; ++step) {
+    const double roll = rng.uniform01();
+    if (roll < 0.50) {
+      // Mostly fresh times; 15% reuse the last pushed time to force
+      // same-instant FIFO ties through both backends.
+      double t = rng.uniform(0.0, 10000.0);
+      if (rng.uniform01() < 0.15) {
+        t = recent_time;
+        ++ties;
+      }
+      recent_time = t;
+      heap_ids.push_back(heap.push(t, [] {}));
+      ladder_ids.push_back(ladder.push(t, [] {}));
+    } else if (roll < 0.72 && !heap_ids.empty()) {
+      const auto pick = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(heap_ids.size()) - 1));
+      EXPECT_EQ(heap.cancel(heap_ids[pick]), ladder.cancel(ladder_ids[pick]));
+      heap_ids.erase(heap_ids.begin() + static_cast<std::ptrdiff_t>(pick));
+      ladder_ids.erase(ladder_ids.begin() +
+                       static_cast<std::ptrdiff_t>(pick));
+    } else if (!heap.empty()) {
+      ASSERT_FALSE(ladder.empty());
+      const auto a = heap.pop();
+      const auto b = ladder.pop();
+      ASSERT_EQ(a.time, b.time) << "pop " << pops;
+      ASSERT_EQ(a.id, b.id) << "pop " << pops;
+      ++pops;
+    }
+    ASSERT_EQ(heap.size(), ladder.size());
+    ASSERT_EQ(heap.next_time(), ladder.next_time());
+  }
+  // Drain the remainder in lockstep.
+  while (!heap.empty()) {
+    ASSERT_FALSE(ladder.empty());
+    const auto a = heap.pop();
+    const auto b = ladder.pop();
+    ASSERT_EQ(a.time, b.time);
+    ASSERT_EQ(a.id, b.id);
+    ++pops;
+  }
+  EXPECT_TRUE(ladder.empty());
+  EXPECT_GT(pops, 10000U);
+  EXPECT_GT(ties, 1000U);
+  // The workload is deep enough to exercise the rung machinery, not just
+  // the bottom tier.
+  EXPECT_GT(ladder.stats().ladder_spills, 0U);
+  EXPECT_EQ(heap.stats().pops, ladder.stats().pops);
+}
+
+// A monotone-time workload shaped like the simulator's (pop one, push a
+// few slightly ahead) keeps the two backends in lockstep as well.
+TEST(EventQueueLadder, SteadyStateSimShapedWorkloadMatchesHeap) {
+  p2p::sim::RngManager rngs(7);
+  p2p::sim::RngStream rng = rngs.stream("queue-steady");
+  EventQueue heap(p2p::sim::QueueBackend::kHeap);
+  EventQueue ladder(p2p::sim::QueueBackend::kLadder);
+  for (int i = 0; i < 2000; ++i) {
+    const double t = rng.uniform(0.0, 10.0);
+    heap.push(t, [] {});
+    ladder.push(t, [] {});
+  }
+  for (int i = 0; i < 30000; ++i) {
+    const auto a = heap.pop();
+    const auto b = ladder.pop();
+    ASSERT_EQ(a.time, b.time);
+    ASSERT_EQ(a.id, b.id);
+    const int fanout = static_cast<int>(rng.uniform_int(0, 2));
+    for (int f = 0; f < fanout; ++f) {
+      // Mix of short frame-like delays and long timer-like delays.
+      const double delay = rng.uniform01() < 0.8
+                               ? rng.uniform(1e-4, 1e-3)
+                               : rng.uniform(1.0, 30.0);
+      heap.push(a.time + delay, [] {});
+      ladder.push(a.time + delay, [] {});
+    }
+    ASSERT_EQ(heap.size(), ladder.size());
+  }
+  EXPECT_GT(ladder.stats().ladder_spills, 0U);
+}
+
+// --- Tombstone compaction (both backends): a cancel-heavy run must not
+// --- carry an unbounded dead fraction until tombstones surface at the
+// --- front — the threshold sweep reclaims them eagerly.
+
+class EventQueueCompactionTest
+    : public ::testing::TestWithParam<p2p::sim::QueueBackend> {};
+
+TEST_P(EventQueueCompactionTest, MassCancelTriggersCompaction) {
+  EventQueue queue(GetParam());
+  std::vector<EventId> ids;
+  for (int i = 0; i < 4096; ++i) {
+    ids.push_back(queue.push(static_cast<double>(i % 97), [] {}));
+  }
+  EXPECT_EQ(queue.peak_raw_size(), 4096U);
+  // Cancel everything except one survivor in the middle.
+  bool survivor_fired = false;
+  const EventId survivor = queue.push(42.5, [&] { survivor_fired = true; });
+  for (const EventId id : ids) EXPECT_TRUE(queue.cancel(id));
+  EXPECT_EQ(queue.size(), 1U);
+  // The sweep fired well before the drain (dead > live threshold) and
+  // reclaimed the tombstones without waiting for pops.
+  EXPECT_GT(queue.stats().compactions, 0U);
+  EXPECT_GT(queue.stats().tombstones_purged, 4000U);
+  auto popped = queue.pop();
+  EXPECT_EQ(popped.id, survivor);
+  popped.fn();
+  EXPECT_TRUE(survivor_fired);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST_P(EventQueueCompactionTest, RawPeakBoundsLivePeak) {
+  EventQueue queue(GetParam());
+  p2p::sim::RngStream rng(99);
+  std::vector<EventId> ids;
+  for (int step = 0; step < 20000; ++step) {
+    if (ids.size() < 64 || rng.uniform01() < 0.5) {
+      ids.push_back(queue.push(rng.uniform(0.0, 100.0), [] {}));
+    } else {
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(ids.size()) - 1));
+      queue.cancel(ids[pick]);
+      ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+  EXPECT_GE(queue.peak_raw_size(), queue.peak_size());
+  // Compaction keeps raw storage within a small multiple of live: dead
+  // can never exceed max(live, threshold) right after a sweep, so the raw
+  // peak is bounded by twice the live peak plus the trigger slack.
+  EXPECT_LE(queue.peak_raw_size(), 2 * queue.peak_size() + 128);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, EventQueueCompactionTest,
+                         ::testing::Values(p2p::sim::QueueBackend::kHeap,
+                                           p2p::sim::QueueBackend::kLadder));
+
+// --- Full-scenario equivalence: a shrunk megascale-shaped run (paper
+// --- density, AODV, staggered joins — the `megascale --smoke` recipe at
+// --- a tier-1-friendly population) must report the identical world on
+// --- both backends. The full-size equivalence is enforced by bench_guard:
+// --- megascale.smoke (10k nodes) selects the ladder through the default
+// --- gate, and its pinned counters were recorded on the heap.
+
+TEST(EventQueueLadder, MegascaleShapedScenarioMatchesHeapBackend) {
+  p2p::scenario::Parameters params;
+  params.algorithm = p2p::core::AlgorithmKind::kRegular;
+  params.num_nodes = 2000;
+  const double side = 100.0 * std::sqrt(2000.0 / 50.0);
+  params.area_width = side;
+  params.area_height = side;
+  params.duration_s = 30.0;
+  params.seed = 7;
+  params.routing_protocol = p2p::scenario::RoutingProtocol::kAodv;
+  params.join_stagger_s = 3.0;
+  params.overlay_sample_interval_s = 0.0;
+
+  params.ladder_queue_min_nodes = std::size_t(-1);  // force the heap
+  ASSERT_FALSE(params.use_ladder_queue());
+  p2p::scenario::SimulationRun heap_run(params);
+  const p2p::scenario::RunResult heap = heap_run.run();
+
+  params.ladder_queue_min_nodes = 0;  // force the ladder
+  ASSERT_TRUE(params.use_ladder_queue());
+  p2p::scenario::SimulationRun ladder_run(params);
+  const p2p::scenario::RunResult ladder = ladder_run.run();
+
+  ASSERT_GT(heap.frames_delivered, 0U);
+  ASSERT_GT(ladder.queue_ladder_spills, 0U);
+  EXPECT_EQ(heap.events_processed, ladder.events_processed);
+  EXPECT_EQ(heap.frames_transmitted, ladder.frames_transmitted);
+  EXPECT_EQ(heap.frames_delivered, ladder.frames_delivered);
+  EXPECT_EQ(heap.frames_lost, ladder.frames_lost);
+  EXPECT_EQ(heap.peak_queue_depth, ladder.peak_queue_depth);
+  EXPECT_EQ(heap.queue_pushes, ladder.queue_pushes);
+  EXPECT_EQ(heap.queue_pops, ladder.queue_pops);
+  EXPECT_EQ(heap.energy_consumed_j, ladder.energy_consumed_j);
+  EXPECT_EQ(heap.routing_control_messages, ladder.routing_control_messages);
+  EXPECT_EQ(heap.connections_established, ladder.connections_established);
+  EXPECT_EQ(heap.connections_closed, ladder.connections_closed);
+  EXPECT_EQ(heap.query_success_rate(), ladder.query_success_rate());
+}
 
 }  // namespace

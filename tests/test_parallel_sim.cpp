@@ -71,9 +71,12 @@ void expect_rank_identical(const FileRankStats& a, const FileRankStats& b,
   EXPECT_EQ(a.p2p_samples, b.p2p_samples) << "rank " << rank;
 }
 
-// Exact (==, not NEAR) comparison of everything a run reports. Any drift
-// here means the event history itself diverged between thread counts.
-void expect_run_identical(const RunResult& a, const RunResult& b) {
+// Exact (==, not NEAR) comparison of the model-visible world — everything
+// except the event-queue *operation* counters, which are additionally
+// checked by expect_run_identical. Split out so cross-backend comparisons
+// (heap vs ladder event queue) can assert the world is bit-identical while
+// purge-timing counters (tombstones, raw peak) legitimately differ.
+void expect_model_identical(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.num_nodes, b.num_nodes);
   EXPECT_EQ(a.num_members, b.num_members);
 
@@ -132,6 +135,23 @@ void expect_run_identical(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.masters, b.masters);
   EXPECT_EQ(a.slaves, b.slaves);
   EXPECT_EQ(a.query_success_rate(), b.query_success_rate());
+
+  // Pushes/pops are model-driven (every schedule and fire), so they are
+  // part of the cross-backend contract too.
+  EXPECT_EQ(a.queue_pushes, b.queue_pushes);
+  EXPECT_EQ(a.queue_pops, b.queue_pops);
+}
+
+// Any drift here means the event history itself diverged between thread
+// counts: the full model comparison plus the queue operation counters
+// (purge/compaction/ladder bookkeeping is deterministic per backend).
+void expect_run_identical(const RunResult& a, const RunResult& b) {
+  expect_model_identical(a, b);
+  EXPECT_EQ(a.queue_tombstones_purged, b.queue_tombstones_purged);
+  EXPECT_EQ(a.queue_compactions, b.queue_compactions);
+  EXPECT_EQ(a.queue_ladder_spills, b.queue_ladder_spills);
+  EXPECT_EQ(a.queue_ladder_rebuckets, b.queue_ladder_rebuckets);
+  EXPECT_EQ(a.queue_peak_raw, b.queue_peak_raw);
 }
 
 RunResult run_with_threads(Parameters params, std::size_t threads) {
@@ -262,6 +282,37 @@ TEST(ParallelSim, SequentialPathKeepsSingleShard) {
   params.sim_shards = 12;
   params.sim_threads = 1;
   EXPECT_EQ(params.effective_sim_shards(), 12u);
+}
+
+TEST(ParallelSim, TownRunLadderBackendBitIdenticalAcrossThreadsAndBackends) {
+  // The ladder event queue under the sharded executor: forcing the gate
+  // to 0 puts every shard Simulator on the ladder backend. The PR 10
+  // contract is two-dimensional — bit-identical across sim_threads for a
+  // fixed backend, AND bit-identical across backends for a fixed thread
+  // count (pop order is the strict (time, seq) total order either way).
+  const RunResult heap_one = run_with_threads(town_scenario(), 1);
+  Parameters ladder = town_scenario();
+  ladder.ladder_queue_min_nodes = 0;
+  ASSERT_TRUE(ladder.use_ladder_queue());
+  const RunResult ladder_one = run_with_threads(ladder, 1);
+  const RunResult ladder_four = run_with_threads(ladder, 4);
+  ASSERT_GT(ladder_one.frames_delivered, 0u);
+  ASSERT_GT(ladder_one.queue_ladder_spills, 0u);
+  expect_run_identical(ladder_one, ladder_four);
+  expect_model_identical(heap_one, ladder_one);
+}
+
+TEST(ParallelSim, CrowdRunLadderBackendBitIdenticalAcrossThreadCounts) {
+  // Mega-scale-shaped coverage for the ladder under real cross-shard
+  // traffic (5000 nodes, 16 shards) — the configuration tsan-determinism
+  // runs to race-check the backend the 100k tier uses.
+  Parameters ladder = crowd_scenario();
+  ladder.ladder_queue_min_nodes = 0;
+  const RunResult one = run_with_threads(ladder, 1);
+  const RunResult four = run_with_threads(ladder, 4);
+  ASSERT_GT(one.frames_delivered, 0u);
+  ASSERT_GT(one.queue_ladder_spills, 0u);
+  expect_run_identical(one, four);
 }
 
 }  // namespace

@@ -27,7 +27,11 @@
 #       field (absent = 1) is part of the comparison key, so a 4-thread
 #       run only ever compares against another 4-thread run — parallel
 #       speedup must not masquerade as (or mask) a hot-path change.
-#       Exit 1 if any bench is more than PCT slower in label-b (default 5).
+#       Exit 1 if any bench is more than PCT slower in label-b (default 5),
+#       or if any paired bench's peak_queue counter differs between the
+#       labels: peak_queue is a fixed-seed determinism counter (identical
+#       on both queue backends and every thread count), so drift means the
+#       event history changed — a correctness failure, not a perf delta.
 #   tools/bench.sh --threads <list> [label] [--smoke]
 #       Thread-scaling sweep: run the megascale tier once per thread count
 #       in <list> (comma-separated, e.g. 1,2,4,8) with the shard
@@ -96,11 +100,22 @@ if [ "${1:-}" = "--compare" ]; then
         sub(/^"[a-z]+_per_sec":/, "", pair)
         rate = pair + 0
       }
+      # peak_queue is a fixed-seed counter (live high-water mark of the
+      # event queue), not a throughput: identical workload => identical
+      # value, on either queue backend and any thread count. Track it per
+      # (bench, label) so the END block can flag drift as determinism
+      # breakage, not as a perf delta.
+      pq = ""
+      if (match($0, /"peak_queue":[0-9]+/)) {
+        pq = substr($0, RSTART + 13, RLENGTH - 13) + 0
+      }
       if (bench == "" || label == "" || rate == "") next
       # Later records override earlier ones: compare the freshest snapshot
       # recorded under each label.
-      if (label == A) { a[bench] = rate; seen[bench] = 1 }
-      if (label == B) { b[bench] = rate; seen[bench] = 1 }
+      if (label == A) { a[bench] = rate; seen[bench] = 1
+                        if (pq != "") { pa[bench] = pq } else { delete pa[bench] } }
+      if (label == B) { b[bench] = rate; seen[bench] = 1
+                        if (pq != "") { pb[bench] = pq } else { delete pb[bench] } }
     }
     END {
       n = 0; fail = 0
@@ -137,6 +152,16 @@ if [ "${1:-}" = "--compare" ]; then
         delta = (b[bench] - a[bench]) / a[bench] * 100.0
         flag = ""
         if (delta < -THR) { flag = "  << REGRESSION"; fail = 1 }
+        # peak_queue drift between labels of the same workload means the
+        # event history itself changed — a determinism break (or an
+        # unflagged model change), never a legitimate perf delta. Hard
+        # failure: a backend or parallelism change must reproduce the
+        # pending-set high-water mark exactly.
+        if ((bench in pa) && (bench in pb) && pa[bench] != pb[bench]) {
+          flag = flag sprintf("  << PEAK_QUEUE DRIFT (%d -> %d)",
+                              pa[bench], pb[bench])
+          drift = 1
+        }
         printf "%-34s %14.0f %14.0f %+8.1f%%%s\n", bench, a[bench], b[bench],
                delta, flag
       }
@@ -144,11 +169,15 @@ if [ "${1:-}" = "--compare" ]; then
         printf "no records found for labels %s / %s\n", A, B
         exit 2
       }
+      if (drift) {
+        printf "FAIL: peak_queue drifted between %s and %s — same workload must\n", A, B
+        printf "      reproduce the same pending-set high-water mark (determinism)\n"
+      }
       if (fail) {
         printf "FAIL: at least one bench regressed more than %s%% (%s -> %s)\n",
                THR, A, B
-        exit 1
       }
+      if (fail || drift) exit 1
     }
   ' "$@"
   exit $?

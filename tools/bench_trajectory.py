@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Collapse BENCH_*.json JSONL records into one throughput-over-labels table.
+
+Every perf binary appends one JSON object per benchmark run to the
+BENCH_*.json files at the repo root (see docs/performance.md), labeled by
+PR tag or git hash. tools/bench.sh --compare answers "did label B regress
+against label A?"; this script answers the longitudinal question — how has
+each bench's headline throughput moved across *all* recorded labels — in
+one table, so a PR description can quote the whole perf trajectory without
+hand-grepping JSONL.
+
+Conventions (shared with tools/bench.sh):
+  * headline rate = the FIRST ops_per_sec / frames_per_sec /
+    queries_per_sec field in the record's own key order (JSON objects are
+    read order-preserving) — secondary rates like msgs_per_sec or
+    events_per_sec never become the headline;
+  * row key = bench name, suffixed "@tN" when the record carries
+    "threads":N > 1 — a parallel run is a different experiment from the
+    sequential run of the same bench and gets its own row;
+  * the latest record per (bench, label, threads) wins — files are append
+    -only, so re-recording a label supersedes the stale snapshot;
+  * column order = order of each label's first appearance in file+line
+    order, i.e. chronological for append-only files.
+
+Usage:
+  tools/bench_trajectory.py [FILE...] [--labels L1,L2,...] [--csv]
+
+With no FILE arguments, reads every BENCH_*.json in the repo root.
+--labels restricts and re-orders the columns; --csv emits
+comma-separated output for spreadsheets instead of the aligned table.
+Pure stdlib; malformed lines are skipped with a warning on stderr.
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+HEADLINE_RE = re.compile(r"^(ops|frames|queries)_per_sec$")
+
+
+def headline_rate(record):
+    """First ops/frames/queries _per_sec field in the record's key order."""
+    for key, value in record.items():
+        if HEADLINE_RE.match(key) and isinstance(value, (int, float)):
+            return float(value)
+    return None
+
+
+def row_key(record):
+    bench = record.get("bench")
+    if not isinstance(bench, str) or not bench:
+        return None
+    threads = record.get("threads", 1)
+    if isinstance(threads, int) and threads > 1:
+        return "%s@t%d" % (bench, threads)
+    return bench
+
+
+def load(paths):
+    """-> (rows, labels): rows maps key -> {label: rate}, both append-ordered."""
+    rows = {}
+    labels = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    print("%s:%d: skipping malformed line" % (path, lineno),
+                          file=sys.stderr)
+                    continue
+                key = row_key(record)
+                label = record.get("label")
+                rate = headline_rate(record)
+                if key is None or not isinstance(label, str) or rate is None:
+                    continue
+                if label not in labels:
+                    labels.append(label)
+                # Latest record per (bench, label, threads) wins.
+                rows.setdefault(key, {})[label] = rate
+    return rows, labels
+
+
+def fmt_rate(rate):
+    if rate is None:
+        return "-"
+    return "%.0f" % rate
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="throughput-over-labels table from BENCH_*.json JSONL")
+    parser.add_argument("files", nargs="*",
+                        help="JSONL record files (default: repo BENCH_*.json)")
+    parser.add_argument("--labels",
+                        help="comma-separated label subset, in column order")
+    parser.add_argument("--csv", action="store_true",
+                        help="emit CSV instead of an aligned table")
+    args = parser.parse_args(argv)
+
+    paths = args.files
+    if not paths:
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        paths = sorted(glob.glob(os.path.join(repo, "BENCH_*.json")))
+    if not paths:
+        print("no BENCH_*.json records found", file=sys.stderr)
+        return 2
+
+    rows, labels = load(paths)
+    if args.labels:
+        wanted = [l for l in args.labels.split(",") if l]
+        missing = [l for l in wanted if l not in labels]
+        if missing:
+            print("label(s) never recorded: %s" % ", ".join(missing),
+                  file=sys.stderr)
+        labels = [l for l in wanted if l in labels]
+    if not rows or not labels:
+        print("no usable records in: %s" % ", ".join(paths), file=sys.stderr)
+        return 2
+
+    header = ["bench"] + labels
+    table = [[key] + [fmt_rate(rows[key].get(l)) for l in labels]
+             for key in sorted(rows)]
+
+    if args.csv:
+        for line in [header] + table:
+            print(",".join(line))
+        return 0
+
+    widths = [max(len(row[i]) for row in [header] + table)
+              for i in range(len(header))]
+    print("  ".join(header[i].ljust(widths[i]) if i == 0
+                    else header[i].rjust(widths[i])
+                    for i in range(len(header))))
+    for row in table:
+        print("  ".join(row[i].ljust(widths[i]) if i == 0
+                        else row[i].rjust(widths[i])
+                        for i in range(len(row))))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
